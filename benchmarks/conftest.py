@@ -1,0 +1,15 @@
+"""Benchmark-suite helpers: every bench renders its table to stdout and into
+``benchmarks/results/`` so the reproduced rows survive the run."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,57 @@
+"""Optimus reproduction: 2D (SUMMA) tensor parallelism for transformers.
+
+A full, from-scratch reproduction of *"An Efficient 2D Method for Training
+Super-Large Deep Learning Models"* (Xu, Li, Gong & You) on a simulated
+multi-device runtime: the Optimus 2D scheme, the Megatron 1D baseline, a
+serial reference ground truth, the paper's memory-management system, and a
+benchmark harness that regenerates every table and figure.
+
+Quick start::
+
+    from repro import OptimusModel, Mesh, Simulator, init_transformer_params
+    from repro.config import ModelConfig
+
+    cfg = ModelConfig(vocab_size=512, hidden_size=64, num_heads=8,
+                      num_layers=2, seq_len=32)
+    params = init_transformer_params(cfg, seed=0)
+    sim = Simulator.for_mesh(q=2)          # 4 simulated GPUs in a 2x2 mesh
+    model = OptimusModel(Mesh(sim, 2), cfg, params)
+    ids, labels = model.synthetic_batch(8)
+    loss = model.forward(ids, labels)
+    model.backward()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from repro.config import ModelConfig, RunConfig, tiny_config
+from repro.core import BufferManager, MoE2D, OptimusModel
+from repro.hybrid import DataParallel
+from repro.megatron import MegatronModel
+from repro.mesh import Mesh
+from repro.nn import init_transformer_params
+from repro.pipeline import PipelineModel
+from repro.reference import ReferenceTransformer
+from repro.runtime import Simulator
+from repro.serialization import load_checkpoint, save_checkpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "RunConfig",
+    "tiny_config",
+    "BufferManager",
+    "MoE2D",
+    "OptimusModel",
+    "DataParallel",
+    "MegatronModel",
+    "Mesh",
+    "init_transformer_params",
+    "PipelineModel",
+    "ReferenceTransformer",
+    "Simulator",
+    "save_checkpoint",
+    "load_checkpoint",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Dtype registry shared by both array backends.
+
+A :class:`DType` is a thin, hashable wrapper over a numpy dtype that also
+records the element size in bytes.  The simulated-device allocator and the
+analytic memory model both consume :func:`dtype_size`, so keeping the byte
+widths in one place guarantees that "measured" (allocator) and "modeled"
+(closed-form) memory numbers agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A named element type with a fixed byte width."""
+
+    name: str
+    np_dtype: np.dtype
+    itemsize: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType({self.name})"
+
+
+float16 = DType("float16", np.dtype(np.float16), 2)
+float32 = DType("float32", np.dtype(np.float32), 4)
+float64 = DType("float64", np.dtype(np.float64), 8)
+int32 = DType("int32", np.dtype(np.int32), 4)
+int64 = DType("int64", np.dtype(np.int64), 8)
+bool_ = DType("bool", np.dtype(np.bool_), 1)
+
+_BY_NAME = {d.name: d for d in (float16, float32, float64, int32, int64, bool_)}
+_BY_NP = {d.np_dtype: d for d in (float16, float32, float64, int32, int64, bool_)}
+
+
+def as_dtype(d) -> DType:
+    """Coerce a numpy dtype / string / DType into a :class:`DType`."""
+    if isinstance(d, DType):
+        return d
+    if isinstance(d, str):
+        try:
+            return _BY_NAME[d]
+        except KeyError:
+            raise ValueError(f"unknown dtype name {d!r}") from None
+    nd = np.dtype(d)
+    try:
+        return _BY_NP[nd]
+    except KeyError:
+        raise ValueError(f"unsupported numpy dtype {nd}") from None
+
+
+def dtype_size(d) -> int:
+    """Element size in bytes of a dtype-like."""
+    return as_dtype(d).itemsize
+
+
+def result_float(*dtypes) -> DType:
+    """Promotion rule for floating arithmetic between backend dtypes."""
+    ds = [as_dtype(d) for d in dtypes]
+    floats = [d for d in ds if d.np_dtype.kind == "f"]
+    if not floats:
+        return float64
+    return max(floats, key=lambda d: d.itemsize)

@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro table2            # weak scaling (Table 2)
+    python -m repro fig9              # memory limits (Figure 9)
+    python -m repro all               # every table and figure
+    python -m repro verify            # quick numerical equivalence check
+
+Each experiment command prints the same rows/series the paper reports, side
+by side with the paper's measured values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _cmd_table1() -> None:
+    from repro.experiments import table1
+
+    table1.main()
+
+
+def _cmd_table2() -> None:
+    from repro.experiments import table2
+
+    table2.main()
+
+
+def _cmd_table3() -> None:
+    from repro.experiments import table3
+
+    table3.main()
+
+
+def _cmd_fig7() -> None:
+    from repro.experiments import fig7
+
+    weak, strong = fig7.run_weak(), fig7.run_strong()
+    print(fig7.render(weak + strong))
+    print()
+    print(fig7.plot(weak, "weak"))
+    print()
+    print(fig7.plot(strong, "strong"))
+
+
+def _cmd_fig8() -> None:
+    from repro.experiments import fig8
+
+    fig8.main()
+
+
+def _cmd_fig9() -> None:
+    from repro.experiments import fig9
+
+    rows = fig9.run()
+    print(fig9.render(rows))
+    print(f"Optimus/Megatron ratio at p=64: {fig9.ratio_at(rows, 64):.2f}x (paper: 8x)")
+    print()
+    print(fig9.plot(rows))
+
+
+def _cmd_isoefficiency() -> None:
+    from repro.perfmodel import isoefficiency_work
+    from repro.utils import format_table
+
+    rows = [
+        [p, isoefficiency_work("megatron", p), isoefficiency_work("optimus", p)]
+        for p in (4, 16, 64, 256, 1024, 4096)
+    ]
+    print(
+        format_table(
+            ["p", "W needed (Megatron)", "W needed (Optimus)"],
+            rows,
+            title="Isoefficiency at E=0.8 (W~p³ vs W~(√p·log p)³, §3.1.2)",
+        )
+    )
+
+
+def _cmd_report() -> None:
+    from repro.experiments import report
+
+    report.main()
+
+
+def _cmd_verify() -> None:
+    """Tiny end-to-end equivalence check across all three implementations."""
+    import numpy as np
+
+    from repro.config import tiny_config
+    from repro.core import OptimusModel
+    from repro.megatron import MegatronModel
+    from repro.mesh import Mesh
+    from repro.nn import init_transformer_params
+    from repro.reference import ReferenceTransformer
+    from repro.runtime import Simulator
+
+    cfg = tiny_config(num_layers=2)
+    params = init_transformer_params(cfg, seed=1)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, cfg.vocab_size, size=(6, cfg.seq_len))
+    labels = rng.integers(0, cfg.vocab_size, size=(6, cfg.seq_len))
+
+    ref_loss = float(ReferenceTransformer(cfg, params).forward(ids, labels))
+    sim = Simulator.for_mesh(q=2)
+    opt_loss = OptimusModel(Mesh(sim, 2), cfg, params).forward(ids, labels)
+    meg_loss = MegatronModel(Simulator.for_flat(p=3), cfg, params).forward(ids, labels)
+    print(f"serial reference loss : {ref_loss:.12f}")
+    print(f"Optimus (2x2)    loss : {opt_loss:.12f}  (diff {abs(opt_loss - ref_loss):.2e})")
+    print(f"Megatron (p=3)   loss : {meg_loss:.12f}  (diff {abs(meg_loss - ref_loss):.2e})")
+    ok = abs(opt_loss - ref_loss) < 1e-9 and abs(meg_loss - ref_loss) < 1e-9
+    print("OK: all three implementations agree" if ok else "MISMATCH")
+    if not ok:  # pragma: no cover
+        sys.exit(1)
+
+
+COMMANDS: Dict[str, Callable[[], None]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "isoefficiency": _cmd_isoefficiency,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the Optimus paper's tables and figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "isoefficiency"):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            COMMANDS[name]()
+    else:
+        COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

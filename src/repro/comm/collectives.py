@@ -1,0 +1,226 @@
+"""Collective operations on per-rank shards.
+
+All functions take a :class:`~repro.comm.group.ProcessGroup` and a mapping
+``{rank: local array}`` whose keys are exactly the group's ranks, perform the
+real data movement (numpy mode) or shape propagation (dryrun mode), charge
+α–β time, and synchronize the participating clocks (bulk-synchronous
+semantics: a collective completes for everyone at the same simulated time).
+
+The data semantics mirror MPI: ``broadcast`` copies the root's buffer to all,
+``reduce``/``all_reduce`` sum elementwise, ``all_gather``/``gather``
+concatenate in rank order along an axis, ``reduce_scatter`` sums then splits,
+``scatter`` splits the root's buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import is_shape_array
+from repro.comm.group import ProcessGroup
+
+Shards = Dict[int, object]
+
+
+def _check_shards(group: ProcessGroup, shards: Shards, same_shape: bool = True) -> None:
+    if set(shards) != set(group.ranks):
+        raise ValueError(
+            f"shard ranks {sorted(shards)} do not match group ranks {sorted(group.ranks)}"
+        )
+    if same_shape:
+        shapes = {tuple(shards[r].shape) for r in group.ranks}
+        if len(shapes) != 1:
+            raise ValueError(f"shards must share a shape, got {shapes}")
+
+
+def _copy(x):
+    """Isolate buffers across ranks (placeholders are immutable, pass through)."""
+    return x if is_shape_array(x) else np.array(x, copy=True)
+
+
+def _charge(group: ProcessGroup, kind: str, dt: float, nbytes: float, weighted: float):
+    sim = group.sim
+    if group.size <= 1:
+        return  # a single-rank group moves no data and costs nothing
+    t0 = sim.sync(group.ranks)
+    sim.advance(group.ranks, dt)
+    for r in group.ranks:
+        sim.device(r).charge_comm(dt, nbytes, weighted)
+    sim.tracer.record(kind, group.ranks, t0, t0 + dt, nbytes=nbytes, label=group.kind)
+
+
+# ----------------------------------------------------------------------
+# collectives
+# ----------------------------------------------------------------------
+def broadcast(group: ProcessGroup, src, root: int) -> Shards:
+    """Copy the root rank's buffer ``src`` to every rank in the group."""
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    nbytes = ops.nbytes(src)
+    _charge(
+        group,
+        "broadcast",
+        group.model.broadcast_time(nbytes),
+        nbytes,
+        group.model.broadcast_weighted_volume(nbytes),
+    )
+    return {r: (src if r == root else _copy(src)) for r in group.ranks}
+
+
+def _combine(group: ProcessGroup, shards: Shards, op: str):
+    acc = _copy(shards[group.ranks[0]])
+    for r in group.ranks[1:]:
+        if op == "sum":
+            acc = acc + shards[r]
+        elif op == "max":
+            acc = ops.maximum(acc, shards[r])
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+    return acc
+
+
+def reduce(group: ProcessGroup, shards: Shards, root: int, op: str = "sum") -> Shards:
+    """Elementwise-reduce all buffers onto the root rank."""
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    _check_shards(group, shards)
+    acc = _combine(group, shards, op)
+    nbytes = ops.nbytes(acc)
+    _charge(
+        group,
+        "reduce",
+        group.model.reduce_time(nbytes),
+        nbytes,
+        group.model.reduce_weighted_volume(nbytes),
+    )
+    return {root: acc}
+
+
+def all_reduce(group: ProcessGroup, shards: Shards, op: str = "sum") -> Shards:
+    """Ring all-reduce: every rank ends with the elementwise reduction."""
+    _check_shards(group, shards)
+    acc = _combine(group, shards, op)
+    nbytes = ops.nbytes(acc)
+    _charge(
+        group,
+        "all_reduce",
+        group.model.all_reduce_time(nbytes),
+        nbytes,
+        group.model.all_reduce_weighted_volume(nbytes),
+    )
+    return {r: (acc if i == 0 else _copy(acc)) for i, r in enumerate(group.ranks)}
+
+
+def all_gather(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
+    """Every rank receives the rank-order concatenation along ``axis``."""
+    _check_shards(group, shards, same_shape=False)
+    parts = [shards[r] for r in group.ranks]
+    full = ops.concatenate(parts, axis=axis)
+    total = ops.nbytes(full)
+    _charge(
+        group,
+        "all_gather",
+        group.model.all_gather_time(total),
+        total,
+        group.model.all_gather_weighted_volume(total),
+    )
+    return {r: (full if i == 0 else _copy(full)) for i, r in enumerate(group.ranks)}
+
+
+def reduce_scatter(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
+    """Sum all buffers, then rank i keeps the i-th equal slice along ``axis``."""
+    _check_shards(group, shards)
+    g = group.size
+    acc = _combine(group, shards, "sum")
+    if acc.shape[axis % acc.ndim] % g != 0:
+        raise ValueError(
+            f"reduce_scatter axis {axis} of size {acc.shape[axis % acc.ndim]} "
+            f"not divisible by group size {g}"
+        )
+    pieces = ops.split(acc, g, axis=axis)
+    total = ops.nbytes(acc)
+    _charge(
+        group,
+        "reduce_scatter",
+        group.model.reduce_scatter_time(total),
+        total,
+        group.model.reduce_scatter_weighted_volume(total),
+    )
+    return {r: pieces[i] for i, r in enumerate(group.ranks)}
+
+
+def scatter(group: ProcessGroup, full, root: int, axis: int = 0) -> Shards:
+    """Split the root's buffer into equal slices, one per rank."""
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    g = group.size
+    if full.shape[axis % full.ndim] % g != 0:
+        raise ValueError("scatter axis not divisible by group size")
+    pieces = ops.split(full, g, axis=axis)
+    total = ops.nbytes(full)
+    # scatter moves (g-1)/g of the buffer out of the root, tree-style
+    _charge(
+        group,
+        "scatter",
+        group.model.broadcast_time(total * (g - 1) / g),
+        total,
+        group.model.broadcast_weighted_volume(total * (g - 1) / g),
+    )
+    return {r: _copy(pieces[i]) for i, r in enumerate(group.ranks)}
+
+
+def gather(group: ProcessGroup, shards: Shards, root: int, axis: int = 0) -> Shards:
+    """Concatenate all buffers in rank order onto the root."""
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    _check_shards(group, shards, same_shape=False)
+    parts = [shards[r] for r in group.ranks]
+    full = ops.concatenate(parts, axis=axis)
+    total = ops.nbytes(full)
+    g = group.size
+    _charge(
+        group,
+        "gather",
+        group.model.reduce_time(total * (g - 1) / g),
+        total,
+        group.model.reduce_weighted_volume(total * (g - 1) / g),
+    )
+    return {root: full}
+
+
+def send_recv(sim, src: int, dst: int, x, send_time: float = None):
+    """Asynchronous point-to-point transfer of ``x`` from rank src to dst.
+
+    Used by pipeline parallelism for inter-stage activation hand-off.
+    Models the standard eager/DMA send: the copy engine starts moving the
+    buffer the moment it is produced (``send_time``, defaulting to the
+    sender's current clock), without blocking the sender's compute stream;
+    the receiver cannot proceed before the data has arrived, so its clock
+    advances to ``max(recv_clock, send_time + transfer_time)``.
+    Rendezvous-blocking semantics — or stamping the send when the consumer
+    finally asks for it — would convoy tightly-coupled schedules like 1F1B,
+    which is not how real NCCL/Gloo pipelines behave.
+    """
+    if src == dst:
+        return x
+    nbytes = ops.nbytes(x)
+    dt = sim.topology.p2p_time(
+        sim.arrangement.gpu_of(src), sim.arrangement.gpu_of(dst), nbytes
+    )
+    sender = sim.device(src)
+    receiver = sim.device(dst)
+    t0 = sender.clock if send_time is None else send_time
+    arrival = t0 + dt
+    receiver.clock = max(receiver.clock, arrival)
+    sender.charge_comm(0.0, nbytes, nbytes)  # copy engine; compute not stalled
+    receiver.charge_comm(dt, nbytes, nbytes)
+    sim.tracer.record("p2p", (src, dst), t0, arrival, nbytes=nbytes)
+    return _copy(x)
+
+
+def barrier(group: ProcessGroup) -> float:
+    """Synchronize clocks without moving data; returns the barrier time."""
+    return group.sim.sync(group.ranks)

@@ -1,0 +1,63 @@
+"""Process groups over the simulator's ranks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.comm.cost import GroupCommModel
+from repro.runtime.simulator import Simulator
+
+
+class ProcessGroup:
+    """An ordered set of ranks that communicate collectively.
+
+    ``siblings`` — the rank sets of collectives that run concurrently with
+    this group's (e.g. all q row groups of a mesh).  They only influence the
+    priced NIC contention, never the data movement.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ranks: Sequence[int],
+        kind: str = "group",
+        siblings: Optional[Sequence[Sequence[int]]] = None,
+    ):
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("duplicate ranks in group")
+        for r in ranks:
+            if not 0 <= r < sim.num_ranks:
+                raise ValueError(f"rank {r} outside simulator of {sim.num_ranks} ranks")
+        self.sim = sim
+        self.ranks: Tuple[int, ...] = ranks
+        self.kind = kind
+        self.model = GroupCommModel.build(
+            sim.topology, sim.arrangement, ranks, siblings=siblings
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def index_of(self, rank: int) -> int:
+        return self.ranks.index(rank)
+
+    def contains(self, rank: int) -> bool:
+        return rank in self.ranks
+
+    def devices(self):
+        return [self.sim.device(r) for r in self.ranks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessGroup(kind={self.kind!r}, ranks={self.ranks})"
+
+
+def make_group(
+    sim: Simulator,
+    ranks: Sequence[int],
+    kind: str = "group",
+    siblings: Optional[Sequence[Sequence[int]]] = None,
+) -> ProcessGroup:
+    """Convenience constructor mirroring ``torch.distributed.new_group``."""
+    return ProcessGroup(sim, ranks, kind=kind, siblings=siblings)

@@ -1,0 +1,177 @@
+"""2-D-partitioned embedding layer and weight-tied LM head (paper §3.2.1).
+
+The embedding table ``[v, h]`` is ``BLOCKED_2D`` like every other SUMMA
+operand.  Token indices ``[b, s]`` are ``ROW_BLOCKED``: row i's devices all
+hold the b/q sequences of batch block i.  The lookup is the paper's
+"one-hot × table" product executed in SUMMA pattern — at step l the table
+block ``E_{l,j}`` is broadcast down column j and each device gathers the
+rows whose token ids fall in vocabulary stripe l.  The LM head reuses the
+same table via Algorithm 2 (``logits = X·Eᵀ``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import ShapeArray, is_shape_array
+from repro.comm import collectives as coll
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule, DistParam, charge_param_memory
+from repro.core.summa import summa_ab, summa_abt, summa_atb
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import BLOCKED_2D, ROW_BLOCKED
+from repro.mesh.mesh import Mesh
+from repro.mesh.partition import distribute_blocked_2d
+
+
+class Embedding2D(DistModule):
+    """Token embedding with a 2-D blocked table."""
+
+    _cache_attrs = ("_ids",)
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cfg: ModelConfig,
+        table_global,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.cfg = cfg
+        self.buffers = buffers
+        self.table = self.register_param(
+            DistParam("embedding.table", distribute_blocked_2d(mesh, table_global))
+        )
+        charge_param_memory(self.table, mesh.sim)
+        self._ids: Optional[DTensor] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, ids: DTensor) -> DTensor:
+        """ids ROW_BLOCKED [b, s] → activations BLOCKED_2D [b·s, h]."""
+        if ids.layout != ROW_BLOCKED:
+            raise ValueError(f"ids must be ROW_BLOCKED, got {ids.layout}")
+        mesh, q = self.mesh, self.mesh.q
+        v, h = self.table.data.global_shape
+        b, s = ids.global_shape
+        v_loc, h_loc = v // q, h // q
+        T_loc = (b // q) * s
+        self._ids = ids
+
+        out = {
+            rank: ops.zeros((T_loc, h_loc), dtype=self.table.data.dtype,
+                            backend=mesh.backend)
+            for rank in mesh.ranks
+        }
+        for l in range(q):
+            lo = l * v_loc
+            for j in range(q):
+                root = mesh.rank(l, j)
+                bcast = coll.broadcast(
+                    mesh.col_group(j), self.table.data.local(root), root
+                )
+                for i in range(q):
+                    rank = mesh.rank(i, j)
+                    block = bcast[rank]
+                    idvec = ids.local(rank).reshape((T_loc,))
+                    self._gather_stripe(out[rank], block, idvec, lo, v_loc)
+                    mesh.device(rank).compute(T_loc * h_loc, kind="elementwise")
+        out_dt = DTensor(mesh, BLOCKED_2D, out, (b * s, h))
+        if self.buffers is not None:
+            for rank, shard in out_dt.shards.items():
+                self.buffers.hold("forward", rank, ops.nbytes(shard))
+        return out_dt
+
+    @staticmethod
+    def _gather_stripe(out, block, idvec, lo: int, v_loc: int) -> None:
+        """out[t] += block[ids[t] − lo] for tokens whose id is in the stripe."""
+        if is_shape_array(out):
+            return  # dryrun: shapes already correct, data-dependent mask skipped
+        ids = np.asarray(idvec)
+        mask = (ids >= lo) & (ids < lo + v_loc)
+        if not mask.any():
+            return
+        rows = np.nonzero(mask)[0]
+        out[rows] += np.asarray(block)[ids[rows] - lo]
+
+    # ------------------------------------------------------------------
+    def backward(self, d_out: DTensor) -> None:
+        """Scatter-add token gradients into the table (column reductions)."""
+        if self._ids is None:
+            raise RuntimeError("embedding backward before forward")
+        mesh, q = self.mesh, self.mesh.q
+        v, h = self.table.data.global_shape
+        v_loc, h_loc = v // q, h // q
+        grad_shards = {}
+        for l in range(q):
+            lo = l * v_loc
+            for j in range(q):
+                partials = {}
+                for i in range(q):
+                    rank = mesh.rank(i, j)
+                    d = d_out.local(rank)
+                    idvec = self._ids.local(rank).reshape((d.shape[0],))
+                    partials[rank] = self._scatter_stripe(
+                        d, idvec, lo, v_loc, h_loc, mesh.backend
+                    )
+                    mesh.device(rank).compute(d.size, kind="elementwise")
+                root = mesh.rank(l, j)
+                reduced = coll.reduce(mesh.col_group(j), partials, root)
+                grad_shards[root] = reduced[root]
+        self.table.add_grad(DTensor(mesh, BLOCKED_2D, grad_shards, (v, h)))
+        self._ids = None
+
+    @staticmethod
+    def _scatter_stripe(d, idvec, lo, v_loc, h_loc, backend):
+        if is_shape_array(d):
+            return ShapeArray((v_loc, h_loc), d.dtype)
+        g = np.zeros((v_loc, h_loc), dtype=np.asarray(d).dtype)
+        ids = np.asarray(idvec)
+        mask = (ids >= lo) & (ids < lo + v_loc)
+        rows = np.nonzero(mask)[0]
+        if rows.size:
+            np.add.at(g, ids[rows] - lo, np.asarray(d)[rows])
+        return g
+
+
+class LMHead2D(DistModule):
+    """Weight-tied language-model head: ``logits = X·Eᵀ`` (Algorithm 2)."""
+
+    _cache_attrs = ("_x",)
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        embedding: Embedding2D,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.embedding = embedding  # not registered: the table is shared
+        self.buffers = buffers
+        self._x: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        self._x = x
+        logits = summa_abt(self.mesh, x, self.embedding.table.data, self.buffers)
+        if self.buffers is not None:
+            for rank, shard in logits.shards.items():
+                self.buffers.hold("forward", rank, ops.nbytes(shard))
+        return logits
+
+    def backward(self, dlogits: DTensor) -> DTensor:
+        if self._x is None:
+            raise RuntimeError("lm-head backward before forward")
+        # C = A·Bᵀ (Eq. 3): dA = dC·B, dB = dCᵀ·A
+        dx = summa_ab(self.mesh, dlogits, self.embedding.table.data, self.buffers)
+        d_table = summa_atb(self.mesh, dlogits, self._x, self.buffers)
+        self.embedding.table.add_grad(d_table)
+        if self.buffers is not None:
+            for rank, shard in dx.shards.items():
+                self.buffers.hold("backward", rank, ops.nbytes(shard))
+        self._x = None
+        return dx

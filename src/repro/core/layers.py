@@ -1,0 +1,538 @@
+"""Optimus transformer layers on a q×q mesh (paper §3.2, Fig. 4).
+
+Every activation DTensor here is ``BLOCKED_2D`` with global shape
+``[T, h'] = [b·s, h']``: mesh row i owns the tokens of batch block i (b/q
+whole sequences, since T/q = (b/q)·s), mesh column j owns feature block j.
+Parameters of SUMMA-style matmuls are ``BLOCKED_2D``; vector parameters
+(biases, LN affine) live on mesh row 0 in ``ROW0_COLS`` layout and move via
+column broadcasts / reductions (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.backend import ops
+from repro.comm import collectives as coll
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule, DistParam, charge_param_memory
+from repro.core.summa import grads_of_ab, summa_ab, summa_abt, summa_atb
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import BLOCKED_2D, ROW0_COLS
+from repro.mesh.mesh import Mesh
+from repro.mesh.partition import distribute_blocked_2d, distribute_row0_cols
+from repro.reference import functional as F
+from repro.reference.attention import (
+    attention_bwd,
+    attention_fwd,
+    fused_attention_bwd,
+    fused_attention_fwd,
+)
+
+#: clock-model cost (FLOPs per element) of fused elementwise kernels
+_ELEMWISE_COST = {"add": 1.0, "gelu": 10.0, "softmax": 8.0, "layernorm": 8.0}
+
+
+def _hold(buffers: Optional[BufferManager], region: str, dt: DTensor) -> None:
+    if buffers is None:
+        return
+    for rank, shard in dt.shards.items():
+        buffers.hold(region, rank, ops.nbytes(shard))
+
+
+def _charge_elementwise(mesh: Mesh, dt: DTensor, kind: str) -> None:
+    cost = _ELEMWISE_COST[kind]
+    for rank, shard in dt.shards.items():
+        mesh.device(rank).compute(cost * shard.size, kind="elementwise")
+
+
+# ======================================================================
+# Linear2D — SUMMA matmul + row-0-hosted bias
+# ======================================================================
+class Linear2D(DistModule):
+    """``y = x·W + bias`` with W 2-D blocked and bias on mesh row 0."""
+
+    _cache_attrs = ("_x",)
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        name: str,
+        weight_global,
+        bias_global=None,
+        buffers: Optional[BufferManager] = None,
+        weight_name: Optional[str] = None,
+        bias_name: Optional[str] = None,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.name = name
+        self.buffers = buffers
+        self.weight = self.register_param(
+            DistParam(
+                weight_name or f"{name}.weight",
+                distribute_blocked_2d(mesh, weight_global),
+            )
+        )
+        charge_param_memory(self.weight, mesh.sim)
+        self.bias: Optional[DistParam] = None
+        if bias_global is not None:
+            self.bias = self.register_param(
+                DistParam(
+                    bias_name or f"{name}.bias",
+                    distribute_row0_cols(mesh, bias_global),
+                )
+            )
+            charge_param_memory(self.bias, mesh.sim)
+        self._x: Optional[DTensor] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: DTensor) -> DTensor:
+        self._x = x
+        y = summa_ab(self.mesh, x, self.weight.data, self.buffers)
+        if self.bias is not None:
+            y = self._bias_add(y)
+        # §3.2.3 option 3: a matmul's output is never needed for its own
+        # backward, so during checkpoint recomputation it need not be
+        # re-buffered (downstream ops that do need their inputs — GELU,
+        # LayerNorm, attention — hold their own copies).
+        if not (
+            self.buffers is not None
+            and self.buffers.skip_matmul_outputs
+            and self.buffers.in_recompute
+        ):
+            _hold(self.buffers, "forward", y)
+        return y
+
+    def _bias_add(self, y: DTensor) -> DTensor:
+        """Broadcast each bias block down its column and add (Fig. 5a)."""
+        mesh = self.mesh
+        shards = {}
+        for j in range(mesh.q):
+            root = mesh.rank(0, j)
+            bcast = coll.broadcast(mesh.col_group(j), self.bias.data.local(root), root)
+            for i in range(mesh.q):
+                rank = mesh.rank(i, j)
+                shards[rank] = y.local(rank) + bcast[rank]
+        out = DTensor(mesh, BLOCKED_2D, shards, y.global_shape)
+        _charge_elementwise(mesh, out, "add")
+        return out
+
+    # ------------------------------------------------------------------
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        if self.bias is not None:
+            self._bias_backward(dy)
+        dx, dw = grads_of_ab(self.mesh, self._x, self.weight.data, dy, self.buffers)
+        self.weight.add_grad(dw)
+        _hold(self.buffers, "backward", dx)
+        if self.buffers is not None:
+            for rank, shard in dw.shards.items():
+                self.buffers.hold("param_grad", rank, ops.nbytes(shard))
+        self._x = None
+        return dx
+
+    def _bias_backward(self, dy: DTensor) -> None:
+        """Column-reduce the local bias gradients to row 0 (Fig. 5b)."""
+        mesh = self.mesh
+        shards = {}
+        for j in range(mesh.q):
+            partials = {}
+            for i in range(mesh.q):
+                rank = mesh.rank(i, j)
+                partials[rank] = ops.sum(dy.local(rank), axis=0)
+            root = mesh.rank(0, j)
+            reduced = coll.reduce(mesh.col_group(j), partials, root)
+            shards[root] = reduced[root]
+        self.bias.add_grad(
+            DTensor(mesh, ROW0_COLS, shards, self.bias.data.global_shape)
+        )
+
+
+# ======================================================================
+# LayerNorm2D — paper §3.2.2
+# ======================================================================
+class LayerNorm2D(DistModule):
+    """Layer normalization over the feature axis split across mesh columns.
+
+    Forward: Σx and Σx² are computed locally and all-reduced along each mesh
+    row (one fused buffer), then x̂ is formed locally; γ and β are broadcast
+    down columns from row 0.  Backward follows the paper's formula with two
+    more row all-reduces (Σ dŷ and Σ x̂·dŷ) and a column reduction for
+    dγ/dβ.
+    """
+
+    _cache_attrs = ("_saved",)
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        name: str,
+        gamma_global,
+        beta_global,
+        eps: float = 1e-5,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.name = name
+        self.eps = eps
+        self.buffers = buffers
+        self.gamma = self.register_param(
+            DistParam(f"{name}.gamma", distribute_row0_cols(mesh, gamma_global))
+        )
+        self.beta = self.register_param(
+            DistParam(f"{name}.beta", distribute_row0_cols(mesh, beta_global))
+        )
+        charge_param_memory(self.gamma, mesh.sim)
+        charge_param_memory(self.beta, mesh.sim)
+        self._saved = None
+
+    def _broadcast_param(self, param: DistParam):
+        mesh = self.mesh
+        local = {}
+        for j in range(mesh.q):
+            root = mesh.rank(0, j)
+            bcast = coll.broadcast(mesh.col_group(j), param.data.local(root), root)
+            local.update(bcast)
+        return local
+
+    # ------------------------------------------------------------------
+    def forward(self, x: DTensor) -> DTensor:
+        mesh = self.mesh
+        h = x.global_shape[1]
+        # fused [Σx, Σx²] row all-reduce
+        stats = {}
+        for rank in mesh.ranks:
+            xl = x.local(rank)
+            s1 = ops.sum(xl, axis=1, keepdims=True)
+            s2 = ops.sum(xl * xl, axis=1, keepdims=True)
+            stats[rank] = ops.concatenate([s1, s2], axis=1)  # [T_loc, 2]
+        for i in range(mesh.q):
+            grp = mesh.row_group(i)
+            reduced = coll.all_reduce(grp, {r: stats[r] for r in grp.ranks})
+            stats.update(reduced)
+
+        gamma_l = self._broadcast_param(self.gamma)
+        beta_l = self._broadcast_param(self.beta)
+
+        out_shards, xhat_shards, inv_shards = {}, {}, {}
+        for rank in mesh.ranks:
+            xl = x.local(rank)
+            st = stats[rank]
+            mean = st[:, 0:1] / h
+            var = st[:, 1:2] / h - mean * mean
+            inv_std = 1.0 / ops.sqrt(var + self.eps)
+            x_hat = (xl - mean) * inv_std
+            out_shards[rank] = x_hat * gamma_l[rank] + beta_l[rank]
+            xhat_shards[rank] = x_hat
+            inv_shards[rank] = inv_std
+        out = DTensor(mesh, BLOCKED_2D, out_shards, x.global_shape)
+        _charge_elementwise(mesh, out, "layernorm")
+        x_hat_dt = DTensor(mesh, BLOCKED_2D, xhat_shards, x.global_shape)
+        self._saved = (x_hat_dt, inv_shards, gamma_l)
+        _hold(self.buffers, "forward", x_hat_dt)
+        _hold(self.buffers, "forward", out)
+        return out
+
+    # ------------------------------------------------------------------
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._saved is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        mesh = self.mesh
+        x_hat_dt, inv_shards, gamma_l = self._saved
+        h = dy.global_shape[1]
+
+        dy_hat, sums = {}, {}
+        for rank in mesh.ranks:
+            d = dy.local(rank) * gamma_l[rank]
+            dy_hat[rank] = d
+            t1 = ops.sum(d, axis=1, keepdims=True)
+            t2 = ops.sum(d * x_hat_dt.local(rank), axis=1, keepdims=True)
+            sums[rank] = ops.concatenate([t1, t2], axis=1)
+        for i in range(mesh.q):
+            grp = mesh.row_group(i)
+            reduced = coll.all_reduce(grp, {r: sums[r] for r in grp.ranks})
+            sums.update(reduced)
+
+        dx_shards = {}
+        for rank in mesh.ranks:
+            st = sums[rank]
+            x_hat = x_hat_dt.local(rank)
+            dx_shards[rank] = inv_shards[rank] * (
+                dy_hat[rank] - st[:, 0:1] / h - x_hat * (st[:, 1:2] / h)
+            )
+        dx = DTensor(mesh, BLOCKED_2D, dx_shards, dy.global_shape)
+        _charge_elementwise(mesh, dx, "layernorm")
+        _hold(self.buffers, "backward", dx)
+
+        # dγ, dβ: fuse into one [2, h/q] column reduction to row 0
+        dg_shards, db_shards = {}, {}
+        for j in range(mesh.q):
+            partials = {}
+            for i in range(mesh.q):
+                rank = mesh.rank(i, j)
+                dg = ops.sum(dy.local(rank) * x_hat_dt.local(rank), axis=0, keepdims=True)
+                db = ops.sum(dy.local(rank), axis=0, keepdims=True)
+                partials[rank] = ops.concatenate([dg, db], axis=0)  # [2, h/q]
+            root = mesh.rank(0, j)
+            reduced = coll.reduce(mesh.col_group(j), partials, root)
+            dg_shards[root] = reduced[root][0]
+            db_shards[root] = reduced[root][1]
+        shape = self.gamma.data.global_shape
+        self.gamma.add_grad(DTensor(mesh, ROW0_COLS, dg_shards, shape))
+        self.beta.add_grad(DTensor(mesh, ROW0_COLS, db_shards, shape))
+        self._saved = None
+        return dx
+
+
+# ======================================================================
+# SelfAttention2D — paper §3.2.1, partitioned along b and h
+# ======================================================================
+class SelfAttention2D(DistModule):
+    """Self-attention with b and h partitioned: each device owns b/q
+    sequences × n/q heads, so the quadratic ``softmax(QKᵀ)V`` is fully local
+    (s is never partitioned — the paper's key design choice avoiding the
+    O(b·n·s²) communication of the s/h partition it first considers)."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cfg: ModelConfig,
+        name: str,
+        wqkv,
+        bqkv,
+        wo,
+        bo,
+        buffers: Optional[BufferManager] = None,
+        fused: bool = False,
+        attention_chunk: int = 64,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.cfg = cfg
+        self.name = name
+        self.buffers = buffers
+        self.fused = fused
+        self.attention_chunk = attention_chunk
+        self.qkv_linear = self.register_module(
+            Linear2D(
+                mesh, f"{name}.qkv", wqkv, bqkv, buffers,
+                weight_name=f"{name}.wqkv", bias_name=f"{name}.bqkv",
+            )
+        )
+        self.out_linear = self.register_module(
+            Linear2D(
+                mesh, f"{name}.out", wo, bo, buffers,
+                weight_name=f"{name}.wo", bias_name=f"{name}.bo",
+            )
+        )
+        self._saved = None
+
+    def forward(self, x: DTensor, batch_size: int) -> DTensor:
+        mesh, cfg = self.mesh, self.cfg
+        q_mesh = mesh.q
+        b_loc = batch_size // q_mesh
+        s = cfg.seq_len
+        n_loc = cfg.num_heads // q_mesh
+        d = cfg.head_dim
+        T, h = x.global_shape
+
+        qkv = self.qkv_linear.forward(x)  # [T, 3h] blocked
+        qs, ks, vs, saved_s, ctx_shards = {}, {}, {}, {}, {}
+        for rank in mesh.ranks:
+            local = qkv.local(rank).reshape((b_loc, s, n_loc, 3, d))
+            qh = local[:, :, :, 0, :].transpose(0, 2, 1, 3)  # [b_loc, n_loc, s, d]
+            kh = local[:, :, :, 1, :].transpose(0, 2, 1, 3)
+            vh = local[:, :, :, 2, :].transpose(0, 2, 1, 3)
+            dev = mesh.device(rank)
+            if self.fused:
+                ctx, m_stat, l_stat = fused_attention_fwd(
+                    qh, kh, vh, chunk=self.attention_chunk
+                )
+                saved_s[rank] = (ctx, m_stat, l_stat)
+                held = ops.nbytes(m_stat) + ops.nbytes(l_stat)
+            else:
+                ctx, probs = attention_fwd(qh, kh, vh)
+                saved_s[rank] = probs
+                held = ops.nbytes(probs)
+                dev.compute(_ELEMWISE_COST["softmax"] * probs.size, kind="elementwise")
+            dev.compute(2.0 * b_loc * n_loc * s * s * d)  # QKᵀ
+            dev.compute(2.0 * b_loc * n_loc * s * s * d)  # probs·V
+            qs[rank], ks[rank], vs[rank] = qh, kh, vh
+            ctx_shards[rank] = ctx.transpose(0, 2, 1, 3).reshape(
+                (b_loc * s, n_loc * d)
+            )
+            if self.buffers is not None:
+                self.buffers.hold("forward", rank, held)
+                self.buffers.hold("forward", rank, ops.nbytes(ctx_shards[rank]))
+        ctx_dt = DTensor(mesh, BLOCKED_2D, ctx_shards, (T, h))
+        self._saved = (qs, ks, vs, saved_s, ctx_dt, b_loc, s, n_loc, d)
+        return self.out_linear.forward(ctx_dt)
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._saved is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        mesh = self.mesh
+        qs, ks, vs, saved_s, ctx_dt, b_loc, s, n_loc, d = self._saved
+        T, h = dy.global_shape
+
+        d_ctx = self.out_linear.backward(dy)  # [T, h] blocked
+        dqkv_shards = {}
+        for rank in mesh.ranks:
+            dc = d_ctx.local(rank).reshape((b_loc, s, n_loc, d)).transpose(0, 2, 1, 3)
+            qh, kh, vh = qs[rank], ks[rank], vs[rank]
+            dev = mesh.device(rank)
+            if self.fused:
+                ctx, m_stat, l_stat = saved_s[rank]
+                d_q, d_k, d_v = fused_attention_bwd(
+                    qh, kh, vh, ctx, m_stat, l_stat, dc, chunk=self.attention_chunk
+                )
+                n_gemms = 5  # score recompute + four gradient products
+            else:
+                probs = saved_s[rank]
+                d_q, d_k, d_v = attention_bwd(qh, kh, vh, probs, dc)
+                n_gemms = 4
+                dev.compute(
+                    _ELEMWISE_COST["softmax"] * probs.size, kind="elementwise"
+                )
+            for _ in range(n_gemms):
+                dev.compute(2.0 * b_loc * n_loc * s * s * d)
+
+            def _undo(t):  # [b,n,s,d] -> [b,s,n,d]
+                return t.transpose(0, 2, 1, 3)
+
+            dqkv_r = ops.stack([_undo(d_q), _undo(d_k), _undo(d_v)], axis=3)
+            dqkv_shards[rank] = dqkv_r.reshape((b_loc * s, n_loc * 3 * d))
+            if self.buffers is not None:
+                self.buffers.hold("backward", rank, ops.nbytes(dqkv_shards[rank]))
+        dqkv = DTensor(mesh, BLOCKED_2D, dqkv_shards, (T, 3 * h))
+        self._saved = None
+        return self.qkv_linear.backward(dqkv)
+
+
+# ======================================================================
+# MLP2D
+# ======================================================================
+class MLP2D(DistModule):
+    """``h → 4h → h`` perceptron; both matmuls are SUMMA, GELU is local."""
+
+    _cache_attrs = ("_pre",)
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        name: str,
+        w1,
+        b1,
+        w2,
+        b2,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.name = name
+        self.buffers = buffers
+        self.fc1 = self.register_module(
+            Linear2D(
+                mesh, f"{name}.fc1", w1, b1, buffers,
+                weight_name=f"{name}.w1", bias_name=f"{name}.b1",
+            )
+        )
+        self.fc2 = self.register_module(
+            Linear2D(
+                mesh, f"{name}.fc2", w2, b2, buffers,
+                weight_name=f"{name}.w2", bias_name=f"{name}.b2",
+            )
+        )
+        self._pre: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        pre = self.fc1.forward(x)
+        self._pre = pre
+        act = pre.map(F.gelu)
+        _charge_elementwise(self.mesh, act, "gelu")
+        _hold(self.buffers, "forward", act)
+        return self.fc2.forward(act)
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._pre is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        d_act = self.fc2.backward(dy)
+        d_pre = self._pre.zip_map(d_act, lambda pre, da: F.gelu_bwd(pre, da))
+        _charge_elementwise(self.mesh, d_pre, "gelu")
+        self._pre = None
+        return self.fc1.backward(d_pre)
+
+
+# ======================================================================
+# TransformerLayer2D
+# ======================================================================
+class TransformerLayer2D(DistModule):
+    """Pre-LN transformer layer: x + Attn(LN1(x)), then x + MLP(LN2(x))."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cfg: ModelConfig,
+        layer_index: int,
+        params: dict,
+        buffers: Optional[BufferManager] = None,
+        fused_attention: bool = False,
+        attention_chunk: int = 64,
+    ):
+        super().__init__()
+        self.mesh = mesh
+        self.cfg = cfg
+        self.index = layer_index
+        self.buffers = buffers
+        pre = f"layer{layer_index}"
+        self.ln1 = self.register_module(
+            LayerNorm2D(
+                mesh, f"{pre}.ln1", params[f"{pre}.ln1.gamma"],
+                params[f"{pre}.ln1.beta"], cfg.ln_eps, buffers,
+            )
+        )
+        self.attn = self.register_module(
+            SelfAttention2D(
+                mesh, cfg, f"{pre}.attn",
+                params[f"{pre}.attn.wqkv"], params[f"{pre}.attn.bqkv"],
+                params[f"{pre}.attn.wo"], params[f"{pre}.attn.bo"], buffers,
+                fused=fused_attention, attention_chunk=attention_chunk,
+            )
+        )
+        self.ln2 = self.register_module(
+            LayerNorm2D(
+                mesh, f"{pre}.ln2", params[f"{pre}.ln2.gamma"],
+                params[f"{pre}.ln2.beta"], cfg.ln_eps, buffers,
+            )
+        )
+        self.mlp = self.register_module(
+            MLP2D(
+                mesh, f"{pre}.mlp",
+                params[f"{pre}.mlp.w1"], params[f"{pre}.mlp.b1"],
+                params[f"{pre}.mlp.w2"], params[f"{pre}.mlp.b2"], buffers,
+            )
+        )
+
+    def forward(self, x: DTensor, batch_size: int) -> DTensor:
+        attn_out = self.attn.forward(self.ln1.forward(x), batch_size)
+        x_mid = x + attn_out
+        _charge_elementwise(self.mesh, x_mid, "add")
+        _hold(self.buffers, "forward", x_mid)
+        mlp_out = self.mlp.forward(self.ln2.forward(x_mid))
+        out = x_mid + mlp_out
+        _charge_elementwise(self.mesh, out, "add")
+        _hold(self.buffers, "forward", out)
+        return out
+
+    def backward(self, dy: DTensor) -> DTensor:
+        d_ln2_out = self.mlp.backward(dy)
+        d_xmid = dy + self.ln2.backward(d_ln2_out)
+        d_ln1_out = self.attn.backward(d_xmid)
+        dx = d_xmid + self.ln1.backward(d_ln1_out)
+        _charge_elementwise(self.mesh, dx, "add")
+        return dx

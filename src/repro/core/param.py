@@ -1,0 +1,90 @@
+"""Distributed parameters and the module base class shared by both schemes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.backend import ops
+from repro.mesh.dtensor import DTensor
+
+
+class DistParam:
+    """A named distributed parameter with an accumulated gradient.
+
+    Gradient accumulation is shard-local addition: every scheme arranges (via
+    its collectives) that the shards being added represent the same global
+    layout, so ``grad`` always has the parameter's own layout.
+    """
+
+    def __init__(self, name: str, data: DTensor):
+        self.name = name
+        self.data = data
+        self.grad: Optional[DTensor] = None
+
+    def add_grad(self, g: DTensor) -> None:
+        if g.layout != self.data.layout or g.global_shape != self.data.global_shape:
+            raise ValueError(
+                f"{self.name}: gradient layout {g.layout}/{g.global_shape} does not "
+                f"match parameter {self.data.layout}/{self.data.global_shape}"
+            )
+        self.grad = g if self.grad is None else self.grad + g
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    @property
+    def nbytes_per_shard(self) -> int:
+        return self.data.shard_nbytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistParam({self.name}, {self.data.layout}, {self.data.global_shape})"
+
+
+class DistModule:
+    """Minimal explicit-backward module protocol.
+
+    Sub-classes implement ``forward`` and ``backward`` (which must be called
+    in LIFO order, as the trainer and checkpointing logic do) and register
+    parameters via :meth:`register_param`.
+    """
+
+    #: attribute names holding saved activations, cleared by drop_caches()
+    _cache_attrs: tuple = ()
+
+    def __init__(self):
+        self._params: List[DistParam] = []
+        self._submodules: List["DistModule"] = []
+
+    def drop_caches(self) -> None:
+        """Release saved-activation references (checkpointing support)."""
+        for attr in self._cache_attrs:
+            setattr(self, attr, None)
+        for m in self._submodules:
+            m.drop_caches()
+
+    def register_param(self, p: DistParam) -> DistParam:
+        self._params.append(p)
+        return p
+
+    def register_module(self, m: "DistModule") -> "DistModule":
+        self._submodules.append(m)
+        return m
+
+    def parameters(self) -> List[DistParam]:
+        out = list(self._params)
+        for m in self._submodules:
+            out.extend(m.parameters())
+        return out
+
+    def named_parameters(self) -> Dict[str, DistParam]:
+        return {p.name: p for p in self.parameters()}
+
+    def zero_grads(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def charge_param_memory(param: DistParam, sim, tag: str = "params") -> None:
+    """Account a parameter's shard bytes on each hosting device."""
+    for rank, shard in param.data.shards.items():
+        sim.device(rank).memory.alloc(ops.nbytes(shard), tag)

@@ -1,0 +1,186 @@
+"""SUMMA matrix products on a q×q mesh (paper §2.4, Algorithms 1–3).
+
+All three products consume and produce ``BLOCKED_2D`` DTensors.  Following
+the paper's key observation, the set {AB, ABᵀ, AᵀB} is closed under
+differentiation (Eqs. 1–3):
+
+    C = AB   →  dA = dC·Bᵀ (Alg. 2),  dB = Aᵀ·dC (Alg. 3)
+    C = ABᵀ  →  dA = dC·B  (Alg. 1),  dB = dCᵀ·A (Alg. 3)
+    C = AᵀB  →  dA = B·dCᵀ (Alg. 2*), dB = A·dC  (Alg. 1)
+
+so every backward pass is again a composition of these three primitives —
+no new communication patterns are needed (see :func:`grad_ab` etc.).
+
+Communication per step l:
+
+* Alg. 1 broadcasts ``A_{il}`` in every row and ``B_{lj}`` in every column;
+* Alg. 2 broadcasts ``B_{lj}`` in columns and *reduces* partial products in
+  rows to the step's owner column l;
+* Alg. 3 broadcasts ``A_{il}`` in rows and reduces partials in columns.
+
+Each local block product charges ``2·(m/q)(k/q)(n/q)`` FLOPs; broadcast /
+reduce scratch lives in the buffer manager's workspace region (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional
+
+from repro.backend import ops
+from repro.core.buffers import BufferManager
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import BLOCKED_2D
+from repro.mesh.mesh import Mesh
+from repro.comm import collectives as coll
+
+
+def _check_blocked(x: DTensor, name: str) -> None:
+    if x.layout != BLOCKED_2D:
+        raise ValueError(f"{name} must be BLOCKED_2D, got {x.layout}")
+    if len(x.global_shape) != 2:
+        raise ValueError(f"{name} must be a 2-D matrix, got {x.global_shape}")
+
+
+def _scratch(buffers: Optional[BufferManager], rank: int, nbytes: int):
+    return buffers.scratch(rank, nbytes) if buffers is not None else nullcontext()
+
+
+def _gemm_flops(a_shape, b_cols: int) -> float:
+    m, k = a_shape
+    return 2.0 * m * k * b_cols
+
+
+def summa_ab(
+    mesh: Mesh,
+    a: DTensor,
+    b: DTensor,
+    buffers: Optional[BufferManager] = None,
+) -> DTensor:
+    """Algorithm 1: ``C = A·B`` with A=[M,K], B=[K,N] both 2-D blocked."""
+    _check_blocked(a, "A")
+    _check_blocked(b, "B")
+    M, K = a.global_shape
+    K2, N = b.global_shape
+    if K != K2:
+        raise ValueError(f"inner dims mismatch: A {a.global_shape} · B {b.global_shape}")
+    q = mesh.q
+    c_shards = {rank: None for rank in mesh.ranks}
+    for l in range(q):
+        # broadcast A_{il} within each row i (root = device (i, l))
+        a_recv = {}
+        for i in range(q):
+            root = mesh.rank(i, l)
+            out = coll.broadcast(mesh.row_group(i), a.local(root), root)
+            a_recv.update(out)
+        # broadcast B_{lj} within each column j (root = device (l, j))
+        b_recv = {}
+        for j in range(q):
+            root = mesh.rank(l, j)
+            out = coll.broadcast(mesh.col_group(j), b.local(root), root)
+            b_recv.update(out)
+        for rank in mesh.ranks:
+            ablk, bblk = a_recv[rank], b_recv[rank]
+            with _scratch(buffers, rank, ops.nbytes(ablk) + ops.nbytes(bblk)):
+                prod = ablk @ bblk
+                mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[1]))
+                c_shards[rank] = prod if c_shards[rank] is None else c_shards[rank] + prod
+    return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
+
+
+def summa_abt(
+    mesh: Mesh,
+    a: DTensor,
+    b: DTensor,
+    buffers: Optional[BufferManager] = None,
+) -> DTensor:
+    """Algorithm 2: ``C = A·Bᵀ`` with A=[M,K], B=[N,K]; C=[M,N]."""
+    _check_blocked(a, "A")
+    _check_blocked(b, "B")
+    M, K = a.global_shape
+    N, K2 = b.global_shape
+    if K != K2:
+        raise ValueError(f"inner dims mismatch: A {a.global_shape} · Bᵀ of {b.global_shape}")
+    q = mesh.q
+    c_shards = {}
+    for l in range(q):
+        # broadcast B_{lj} within each column j (root = device (l, j))
+        b_recv = {}
+        for j in range(q):
+            root = mesh.rank(l, j)
+            out = coll.broadcast(mesh.col_group(j), b.local(root), root)
+            b_recv.update(out)
+        # every device forms A_{ij}·(B_{lj})ᵀ then rows reduce to column l
+        for i in range(q):
+            partials = {}
+            for j in range(q):
+                rank = mesh.rank(i, j)
+                ablk, bblk = a.local(rank), b_recv[rank]
+                with _scratch(buffers, rank, ops.nbytes(bblk)):
+                    partials[rank] = ablk @ ops.transpose(bblk)
+                    mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[0]))
+            root = mesh.rank(i, l)
+            reduced = coll.reduce(mesh.row_group(i), partials, root)
+            c_shards[root] = reduced[root]
+    return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
+
+
+def summa_atb(
+    mesh: Mesh,
+    a: DTensor,
+    b: DTensor,
+    buffers: Optional[BufferManager] = None,
+) -> DTensor:
+    """Algorithm 3: ``C = Aᵀ·B`` with A=[K,M], B=[K,N]; C=[M,N]."""
+    _check_blocked(a, "A")
+    _check_blocked(b, "B")
+    K, M = a.global_shape
+    K2, N = b.global_shape
+    if K != K2:
+        raise ValueError(f"inner dims mismatch: Aᵀ of {a.global_shape} · B {b.global_shape}")
+    q = mesh.q
+    c_shards = {}
+    for l in range(q):
+        # broadcast A_{il} within each row i (root = device (i, l))
+        a_recv = {}
+        for i in range(q):
+            root = mesh.rank(i, l)
+            out = coll.broadcast(mesh.row_group(i), a.local(root), root)
+            a_recv.update(out)
+        # every device forms (A_{il})ᵀ·B_{ij} then columns reduce to row l
+        for j in range(q):
+            partials = {}
+            for i in range(q):
+                rank = mesh.rank(i, j)
+                ablk, bblk = a_recv[rank], b.local(rank)
+                with _scratch(buffers, rank, ops.nbytes(ablk)):
+                    partials[rank] = ops.transpose(ablk) @ bblk
+                    mesh.device(rank).compute(_gemm_flops((ablk.shape[1], ablk.shape[0]), bblk.shape[1]))
+            root = mesh.rank(l, j)
+            reduced = coll.reduce(mesh.col_group(j), partials, root)
+            c_shards[root] = reduced[root]
+    return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
+
+
+# ----------------------------------------------------------------------
+# closed-set backward identities (paper Eqs. 1–3)
+# ----------------------------------------------------------------------
+def grads_of_ab(mesh, a, b, dc, buffers=None):
+    """(dA, dB) for ``C = A·B`` (Eq. 1): dA = dC·Bᵀ, dB = Aᵀ·dC."""
+    da = summa_abt(mesh, dc, b, buffers)
+    db = summa_atb(mesh, a, dc, buffers)
+    return da, db
+
+
+def grads_of_abt(mesh, a, b, dc, buffers=None):
+    """(dA, dB) for ``C = A·Bᵀ`` (Eq. 3): dA = dC·B, dB = dCᵀ·A."""
+    da = summa_ab(mesh, dc, b, buffers)
+    db = summa_atb(mesh, dc, a, buffers)
+    return da, db
+
+
+def grads_of_atb(mesh, a, b, dc, buffers=None):
+    """(dA, dB) for ``C = Aᵀ·B`` (Eq. 2): dA = B·dCᵀ, dB = A·dC."""
+    da = summa_abt(mesh, b, dc, buffers)
+    db = summa_ab(mesh, a, dc, buffers)
+    return da, db

@@ -1,0 +1,115 @@
+"""Figure 7 — weak-scaling (left) and strong-scaling (right) efficiency.
+
+Efficiency is ``E = T_serial / (p · T_p)`` where ``T_serial`` is the serial
+execution time of the *same* problem.  The paper could not run the large
+problems on one GPU and extrapolated from a unit problem; the simulator has
+no such memory limit, so we obtain ``T_serial`` directly by executing the
+full problem on a 1-device mesh (where no communication is charged) —
+exactly the quantity the paper approximates.
+
+The claims to reproduce (§5.1–5.2): weak-scaling efficiency decreases for
+both schemes but Optimus overtakes Megatron from 16 GPUs on, with a growing
+margin; in strong scaling Megatron's efficiency trend is worse than
+Optimus's, and Optimus's absolute throughput rises with p until it
+surpasses Megatron at 64 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import ModelConfig, table2_weak_scaling, table3_strong_scaling
+from repro.experiments.runner import run_megatron_stem, run_optimus_stem
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    mode: str  # "weak" / "strong"
+    scheme: str
+    num_devices: int
+    t_parallel: float
+    t_serial: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.t_serial / (self.num_devices * self.t_parallel)
+
+
+def _serial_time(cfg: ModelConfig, batch_size: int) -> float:
+    """Full-problem time on a 1×1 mesh (communication-free by construction)."""
+    res = run_optimus_stem(cfg, q=1, batch_size=batch_size)
+    return res.forward_time + res.backward_time
+
+
+def run_weak() -> List[EfficiencyPoint]:
+    points: List[EfficiencyPoint] = []
+    for setting in table2_weak_scaling():
+        p = setting["num_devices"]
+        q = int(round(p**0.5))
+        rm = run_megatron_stem(setting["model_megatron"], p, setting["batch_megatron"])
+        t1_m = _serial_time(setting["model_megatron"], setting["batch_megatron"])
+        points.append(
+            EfficiencyPoint("weak", "megatron", p, rm.forward_time + rm.backward_time, t1_m)
+        )
+        ro = run_optimus_stem(setting["model_optimus"], q, setting["batch_optimus"])
+        t1_o = _serial_time(setting["model_optimus"], setting["batch_optimus"])
+        points.append(
+            EfficiencyPoint("weak", "optimus", p, ro.forward_time + ro.backward_time, t1_o)
+        )
+    return points
+
+
+def run_strong() -> List[EfficiencyPoint]:
+    points: List[EfficiencyPoint] = []
+    for setting in table3_strong_scaling():
+        p = setting["num_devices"]
+        q = int(round(p**0.5))
+        rm = run_megatron_stem(setting["model_megatron"], p, setting["batch_megatron"])
+        t1_m = _serial_time(setting["model_megatron"], setting["batch_megatron"])
+        points.append(
+            EfficiencyPoint("strong", "megatron", p, rm.forward_time + rm.backward_time, t1_m)
+        )
+        ro = run_optimus_stem(setting["model_optimus"], q, setting["batch_optimus"])
+        t1_o = _serial_time(setting["model_optimus"], setting["batch_optimus"])
+        points.append(
+            EfficiencyPoint("strong", "optimus", p, ro.forward_time + ro.backward_time, t1_o)
+        )
+    return points
+
+
+def plot(points: List[EfficiencyPoint], mode: str) -> str:
+    """ASCII rendering of one Fig. 7 panel."""
+    from repro.utils import line_plot
+
+    pts = [p for p in points if p.mode == mode]
+    ps = sorted({p.num_devices for p in pts})
+    series = {}
+    for scheme in ("megatron", "optimus"):
+        by_p = {p.num_devices: p.efficiency for p in pts if p.scheme == scheme}
+        series[scheme] = [by_p[p] for p in ps]
+    return line_plot(
+        series, ps, title=f"Figure 7 ({mode} scaling efficiency)", ylabel="E"
+    )
+
+
+def render(points: List[EfficiencyPoint]) -> str:
+    return format_table(
+        ["mode", "scheme", "p", "T_p (s)", "T_serial (s)", "efficiency"],
+        [
+            [pt.mode, pt.scheme, pt.num_devices, pt.t_parallel, pt.t_serial, pt.efficiency]
+            for pt in points
+        ],
+        title="Figure 7 — scaling efficiency",
+    )
+
+
+def main() -> str:  # pragma: no cover - exercised via benchmarks
+    out = render(run_weak() + run_strong())
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,131 @@
+"""Dryrun execution of the paper's measurement workload.
+
+The paper times "the stem of Transformer, or the consecutive Transformer
+layers" (§5): one forward and one checkpointed backward of N=24 layers.
+These helpers build the stem in shape (dryrun) mode at any scale, run one
+iteration, and report the per-sequence times / throughput / inference
+columns of Tables 2–3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.core.model import OptimusModel
+from repro.megatron.model import MegatronModel
+from repro.mesh.mesh import Mesh
+from repro.nn.init import init_transformer_params
+from repro.runtime.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class StemResult:
+    """One table row: absolute and per-sequence times for one iteration."""
+
+    scheme: str
+    num_devices: int
+    batch_size: int
+    hidden_size: int
+    num_heads: int
+    forward_time: float
+    backward_time: float
+    peak_memory_bytes: float
+
+    @property
+    def forward_per_seq(self) -> float:
+        return self.forward_time / self.batch_size
+
+    @property
+    def backward_per_seq(self) -> float:
+        return self.backward_time / self.batch_size
+
+    @property
+    def throughput(self) -> float:
+        """Sequences/s of a full training iteration (paper's definition)."""
+        return self.batch_size / (self.forward_time + self.backward_time)
+
+    @property
+    def inference(self) -> float:
+        """Sequences/s of the forward pass only (paper's definition)."""
+        return self.batch_size / self.forward_time
+
+
+def _stem_params(cfg: ModelConfig, dtype: str = "float32"):
+    return init_transformer_params(
+        cfg, backend="shape", dtype=dtype, include_embedding=False
+    )
+
+
+def run_optimus_stem(
+    cfg: ModelConfig,
+    q: int,
+    batch_size: int,
+    arrangement: str = "bunched",
+    gpus_per_node: int = 4,
+    checkpoint: bool = True,
+    strict_memory: bool = False,
+) -> StemResult:
+    """One forward + one checkpointed backward of the Optimus stem."""
+    sim = Simulator.for_mesh(
+        q=q,
+        gpus_per_node=gpus_per_node,
+        arrangement_kind=arrangement,
+        backend="shape",
+        strict_memory=strict_memory,
+    )
+    mesh = Mesh(sim, q)
+    model = OptimusModel(
+        mesh, cfg, _stem_params(cfg), checkpoint_activations=checkpoint, stem_only=True
+    )
+    model.stem_forward(batch_size)
+    fwd = sim.elapsed()
+    model.stem_backward()
+    total = sim.elapsed()
+    return StemResult(
+        scheme="optimus",
+        num_devices=q * q,
+        batch_size=batch_size,
+        hidden_size=cfg.hidden_size,
+        num_heads=cfg.num_heads,
+        forward_time=fwd,
+        backward_time=total - fwd,
+        peak_memory_bytes=sim.peak_memory(),
+    )
+
+
+def run_megatron_stem(
+    cfg: ModelConfig,
+    p: int,
+    batch_size: int,
+    gpus_per_node: int = 4,
+    checkpoint: bool = True,
+    checkpoint_layout: str = "distributed",
+    strict_memory: bool = False,
+) -> StemResult:
+    """One forward + one checkpointed backward of the Megatron stem."""
+    sim = Simulator.for_flat(
+        p=p, gpus_per_node=gpus_per_node, backend="shape", strict_memory=strict_memory
+    )
+    model = MegatronModel(
+        sim,
+        cfg,
+        _stem_params(cfg),
+        checkpoint_activations=checkpoint,
+        checkpoint_layout=checkpoint_layout,
+        stem_only=True,
+    )
+    model.stem_forward(batch_size)
+    fwd = sim.elapsed()
+    model.stem_backward()
+    total = sim.elapsed()
+    return StemResult(
+        scheme="megatron",
+        num_devices=p,
+        batch_size=batch_size,
+        hidden_size=cfg.hidden_size,
+        num_heads=cfg.num_heads,
+        forward_time=fwd,
+        backward_time=total - fwd,
+        peak_memory_bytes=sim.peak_memory(),
+    )

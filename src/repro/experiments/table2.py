@@ -1,0 +1,101 @@
+"""Table 2 — weak scaling on 4 → 64 GPUs, Megatron vs Optimus.
+
+Reproduces the paper's setting: fixed parameters per device (h ∝ q = √p),
+N = 24 layers, s = 512, batch sizes exactly as the paper ran them (Optimus
+grows b with q, Megatron shrinks b to stay within memory).  All four
+reported columns — forward time / batch size, backward time / batch size,
+throughput, inference — use the paper's definitions (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import ModelConfig, table2_weak_scaling
+from repro.experiments.runner import StemResult, run_megatron_stem, run_optimus_stem
+from repro.utils.tables import format_table
+
+#: The paper's Table 2 values: p -> (fwd/seq, bwd/seq, throughput, inference)
+PAPER_MEGATRON: Dict[int, Tuple[float, float, float, float]] = {
+    4: (0.0793, 0.2613, 2.9363, 13.1047),
+    16: (0.2081, 0.5149, 1.3831, 4.8046),
+    36: (0.3379, 0.7955, 0.8823, 2.9596),
+    64: (0.4638, 1.0963, 0.6410, 2.1560),
+}
+PAPER_OPTIMUS: Dict[int, Tuple[float, float, float, float]] = {
+    4: (0.0985, 0.2979, 2.5229, 10.1502),
+    16: (0.1764, 0.5312, 1.4134, 5.6704),
+    36: (0.1901, 0.5759, 1.3055, 5.2593),
+    64: (0.2589, 0.7935, 0.9502, 3.8625),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    result: StemResult
+    paper: Tuple[float, float, float, float]
+
+    def as_list(self) -> list:
+        r, pp = self.result, self.paper
+        return [
+            r.num_devices,
+            r.scheme,
+            r.batch_size,
+            r.hidden_size,
+            r.num_heads,
+            r.forward_per_seq,
+            pp[0],
+            r.backward_per_seq,
+            pp[1],
+            r.throughput,
+            pp[2],
+            r.inference,
+            pp[3],
+        ]
+
+
+def run() -> List[Table2Row]:
+    """All eight rows (four device counts × two schemes)."""
+    rows: List[Table2Row] = []
+    for setting in table2_weak_scaling():
+        p = setting["num_devices"]
+        q = int(round(p**0.5))
+        rm = run_megatron_stem(setting["model_megatron"], p, setting["batch_megatron"])
+        rows.append(Table2Row(rm, PAPER_MEGATRON[p]))
+        ro = run_optimus_stem(setting["model_optimus"], q, setting["batch_optimus"])
+        rows.append(Table2Row(ro, PAPER_OPTIMUS[p]))
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    return format_table(
+        [
+            "p", "scheme", "b", "h", "heads",
+            "fwd/seq", "(paper)", "bwd/seq", "(paper)",
+            "thr", "(paper)", "inf", "(paper)",
+        ],
+        [r.as_list() for r in rows],
+        title="Table 2 — weak scaling (simulated vs paper-measured)",
+    )
+
+
+def speedup_at(rows: List[Table2Row], p: int) -> Tuple[float, float]:
+    """(training speedup, inference speedup) of Optimus over Megatron at p."""
+    by = {(r.result.scheme, r.result.num_devices): r.result for r in rows}
+    meg, opt = by[("megatron", p)], by[("optimus", p)]
+    return opt.throughput / meg.throughput, opt.inference / meg.inference
+
+
+def main() -> str:  # pragma: no cover - exercised via benchmarks
+    rows = run()
+    out = render(rows)
+    tr, inf = speedup_at(rows, 64)
+    out += f"\nOptimus speedup over Megatron on 64 GPUs: {tr:.2f}x training, {inf:.2f}x inference"
+    out += "\n(paper: 1.48x training, 1.79x inference)"
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

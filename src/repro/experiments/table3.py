@@ -1,0 +1,90 @@
+"""Table 3 — strong scaling: fixed problem size, 4 → 64 GPUs.
+
+The paper fixes h ≈ 3072, s = 512, N = 24 and scales devices.  Because
+Megatron needs n divisible by p it runs n = 64 (72 at p = 36, with h bumped
+to 3096); Optimus only needs n divisible by q so it keeps n = 24.  Megatron
+cannot host b = 24 so it uses b = 12 (per-sequence metrics are unaffected —
+both communication and computation are proportional to b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import table3_strong_scaling
+from repro.experiments.runner import StemResult, run_megatron_stem, run_optimus_stem
+from repro.utils.tables import format_table
+
+#: The paper's Table 3 values: p -> (fwd/seq, bwd/seq, throughput, inference)
+PAPER_MEGATRON: Dict[int, Tuple[float, float, float, float]] = {
+    4: (0.1225, 0.4749, 1.6737, 8.1616),
+    16: (0.1143, 0.4293, 1.8397, 8.7521),
+    36: (0.1212, 0.4512, 1.7470, 8.2503),
+    64: (0.1195, 0.5306, 1.8180, 8.3711),
+}
+#: note: the paper's p=4 inference entry (0.4415) is an evident typo; the
+#: consistent value 1/0.1888 ≈ 5.30 is used for comparisons instead.
+PAPER_OPTIMUS: Dict[int, Tuple[float, float, float, float]] = {
+    4: (0.1888, 0.5691, 1.3195, 5.2966),
+    16: (0.1950, 0.5704, 1.4095, 5.1285),
+    36: (0.1625, 0.4764, 1.5653, 6.1542),
+    64: (0.1253, 0.3716, 2.0123, 7.9808),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    result: StemResult
+    paper: Tuple[float, float, float, float]
+
+    def as_list(self) -> list:
+        r, pp = self.result, self.paper
+        return [
+            r.num_devices, r.scheme, r.batch_size, r.hidden_size, r.num_heads,
+            r.forward_per_seq, pp[0], r.backward_per_seq, pp[1],
+            r.throughput, pp[2], r.inference, pp[3],
+        ]
+
+
+def run() -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    for setting in table3_strong_scaling():
+        p = setting["num_devices"]
+        q = int(round(p**0.5))
+        rm = run_megatron_stem(setting["model_megatron"], p, setting["batch_megatron"])
+        rows.append(Table3Row(rm, PAPER_MEGATRON[p]))
+        ro = run_optimus_stem(setting["model_optimus"], q, setting["batch_optimus"])
+        rows.append(Table3Row(ro, PAPER_OPTIMUS[p]))
+    return rows
+
+
+def render(rows: List[Table3Row]) -> str:
+    return format_table(
+        [
+            "p", "scheme", "b", "h", "heads",
+            "fwd/seq", "(paper)", "bwd/seq", "(paper)",
+            "thr", "(paper)", "inf", "(paper)",
+        ],
+        [r.as_list() for r in rows],
+        title="Table 3 — strong scaling (simulated vs paper-measured)",
+    )
+
+
+def optimus_trend(rows: List[Table3Row]) -> List[float]:
+    """Optimus throughput by p — the paper's 'increasing trend' claim."""
+    return [r.result.throughput for r in rows if r.result.scheme == "optimus"]
+
+
+def main() -> str:  # pragma: no cover - exercised via benchmarks
+    rows = run()
+    out = render(rows)
+    by = {(r.result.scheme, r.result.num_devices): r.result for r in rows}
+    ratio = by[("optimus", 64)].throughput / by[("megatron", 64)].throughput
+    out += f"\nOptimus/Megatron throughput at p=64: {ratio:.2f}x (paper: 1.11x)"
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

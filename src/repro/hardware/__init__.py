@@ -1,0 +1,42 @@
+"""Hardware model: device/link specifications, cluster topology, arrangements.
+
+The paper's testbed is TACC Frontera ``rtx`` nodes: 4 NVIDIA Quadro RTX 5000
+GPUs per node, nodes interconnected with Mellanox InfiniBand.  We model a
+cluster as a `networkx` graph of GPUs, node-local buses and NICs, and derive
+α–β communication parameters per process group from the rank→GPU arrangement
+(naive vs the paper's "bunched" arrangement, Fig. 8).
+"""
+
+from repro.hardware.specs import (
+    DeviceSpec,
+    LinkSpec,
+    ClusterSpec,
+    RTX5000,
+    PCIE3_X16,
+    IB_EDR,
+    frontera_rtx,
+)
+from repro.hardware.topology import ClusterTopology
+from repro.hardware.arrangement import (
+    Arrangement,
+    naive_arrangement,
+    bunched_arrangement,
+    linear_arrangement,
+    make_arrangement,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "ClusterSpec",
+    "RTX5000",
+    "PCIE3_X16",
+    "IB_EDR",
+    "frontera_rtx",
+    "ClusterTopology",
+    "Arrangement",
+    "naive_arrangement",
+    "bunched_arrangement",
+    "linear_arrangement",
+    "make_arrangement",
+]

@@ -1,0 +1,94 @@
+"""Device, link and cluster specifications.
+
+The numbers below model the paper's testbed (TACC Frontera ``rtx`` partition):
+
+* NVIDIA Quadro RTX 5000 — 11.2 TFLOP/s fp32 peak, 16 GB GDDR6.  Dense GEMM
+  at transformer shapes sustains roughly 40–60% of peak; we use a single
+  efficiency factor because only *relative* timing shape matters for the
+  reproduction (see DESIGN.md).
+* Intra-node: PCIe 3.0 x16 (~12 GB/s effective per direction).
+* Inter-node: Mellanox InfiniBand (EDR-class, ~100 Gb/s ≈ 12 GB/s effective),
+  one NIC per node shared by the 4 GPUs — the sharing is exactly what the
+  paper's Fig. 8 "bunched arrangement" optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A single accelerator."""
+
+    name: str
+    peak_flops: float  # FLOP/s at the working precision
+    gemm_efficiency: float  # sustained fraction of peak for dense GEMM
+    memory_bytes: int  # usable device memory
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s used by the performance model."""
+        return self.peak_flops * self.gemm_efficiency
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point communication link."""
+
+    name: str
+    bandwidth: float  # bytes / second, per direction
+    latency: float  # seconds per message
+
+    @property
+    def beta(self) -> float:
+        """Inverse bandwidth (seconds per byte), the β of the α–β model."""
+        return 1.0 / self.bandwidth
+
+    @property
+    def alpha(self) -> float:
+        """Per-message latency, the α of the α–β model."""
+        return self.latency
+
+
+RTX5000 = DeviceSpec(
+    name="Quadro RTX 5000",
+    peak_flops=11.2e12,
+    gemm_efficiency=0.45,
+    memory_bytes=16 * 1024**3,
+)
+
+PCIE3_X16 = LinkSpec(name="PCIe 3.0 x16", bandwidth=12.0e9, latency=5.0e-6)
+
+IB_EDR = LinkSpec(name="InfiniBand EDR", bandwidth=12.0e9, latency=15.0e-6)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster: ``num_nodes`` × ``gpus_per_node`` devices."""
+
+    name: str
+    num_nodes: int
+    gpus_per_node: int
+    device: DeviceSpec = RTX5000
+    intra_link: LinkSpec = PCIE3_X16
+    inter_link: LinkSpec = IB_EDR
+
+    @property
+    def num_devices(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, gpu_id: int) -> int:
+        """Physical node hosting a physical GPU id (node-major numbering)."""
+        if not 0 <= gpu_id < self.num_devices:
+            raise ValueError(f"gpu id {gpu_id} out of range [0, {self.num_devices})")
+        return gpu_id // self.gpus_per_node
+
+
+def frontera_rtx(num_nodes: int, gpus_per_node: int = 4) -> ClusterSpec:
+    """The paper's testbed: Frontera rtx nodes (4 × RTX 5000 + InfiniBand)."""
+    return ClusterSpec(
+        name=f"frontera-rtx-{num_nodes}x{gpus_per_node}",
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+    )

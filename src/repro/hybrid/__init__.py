@@ -1,0 +1,13 @@
+"""Hybrid data × tensor parallelism.
+
+Production systems (including Colossal-AI, where Optimus landed) compose
+tensor parallelism *within* a replica with data parallelism *across*
+replicas: each replica processes its slice of the global batch, and
+parameter gradients are all-reduced shard-by-shard across replicas before
+the (purely local) optimizer step.  :class:`DataParallel` provides exactly
+that composition over this library's tensor-parallel models.
+"""
+
+from repro.hybrid.data_parallel import DataParallel
+
+__all__ = ["DataParallel"]

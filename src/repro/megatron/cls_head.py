@@ -1,0 +1,113 @@
+"""Sequence-classification head for the Megatron baseline.
+
+The classifier weight ``[h, C]`` is tiny (C is 2 in the paper's Fig. 1), so
+Megatron-LM keeps it replicated and computes the head redundantly on every
+device — activations are already replicated, so no communication is needed
+at all; gradients come out identical on every rank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import ShapeArray, is_shape_array
+from repro.comm.group import ProcessGroup
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule, DistParam, charge_param_memory
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import REPLICATED_1D
+from repro.mesh.partition import distribute_replicated_1d
+from repro.reference import functional as F
+
+
+class ClassificationHead1D(DistModule):
+    """token-0 pooling → replicated dense [h, C] → cross-entropy."""
+
+    _cache_attrs = ("_saved",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        cfg: ModelConfig,
+        weight_global,
+        bias_global,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.cfg = cfg
+        self.buffers = buffers
+        self.num_classes = weight_global.shape[1]
+        self.weight = self.register_param(
+            DistParam("cls_head.weight", distribute_replicated_1d(group, weight_global))
+        )
+        self.bias = self.register_param(
+            DistParam("cls_head.bias", distribute_replicated_1d(group, bias_global))
+        )
+        charge_param_memory(self.weight, group.sim)
+        charge_param_memory(self.bias, group.sim)
+        self._saved = None
+
+    def forward(self, ln_out: DTensor, cls_labels: Optional[DTensor] = None):
+        group, s = self.group, self.cfg.seq_len
+        b = ln_out.global_shape[0] // s
+        x0, logits = {}, {}
+        for rank in group.ranks:
+            x0[rank] = ln_out.local(rank)[::s]  # [b, h]
+            logits[rank] = (
+                x0[rank] @ self.weight.data.local(rank) + self.bias.data.local(rank)
+            )
+            group.sim.device(rank).compute(
+                2.0 * b * x0[rank].shape[1] * self.num_classes
+            )
+        if cls_labels is None:
+            self._saved = None
+            return DTensor(group, REPLICATED_1D, logits, (b, self.num_classes))
+        probs, loss_val = {}, None
+        for rank in group.ranks:
+            loss_seq, p = F.cross_entropy_fwd(logits[rank], cls_labels.local(rank))
+            probs[rank] = p
+            if loss_val is None:
+                loss_val = ops.sum(loss_seq)
+            if self.buffers is not None:
+                self.buffers.hold("forward", rank, ops.nbytes(p))
+        self._saved = (x0, probs, cls_labels, b, ln_out)
+        if is_shape_array(loss_val):
+            return ShapeArray((), loss_val.dtype)
+        return float(loss_val) / b
+
+    def backward(self) -> DTensor:
+        if self._saved is None:
+            raise RuntimeError("classification backward before forward with labels")
+        group, s = self.group, self.cfg.seq_len
+        x0, probs, cls_labels, b, ln_out = self._saved
+        scale = 1.0 / b
+        dw, db, out_shards = {}, {}, {}
+        for rank in group.ranks:
+            lab = cls_labels.local(rank)
+            dl = ops.full(
+                (lab.shape[0],), scale, dtype="float64",
+                backend=ops.backend_of(probs[rank]),
+            )
+            dlogits = F.cross_entropy_bwd(probs[rank], lab, dl)
+            dw[rank] = ops.transpose(x0[rank]) @ dlogits
+            db[rank] = ops.sum(dlogits, axis=0)
+            dx0 = dlogits @ ops.transpose(self.weight.data.local(rank))
+            d_out = ops.zeros_like(ln_out.local(rank))
+            d_out[::s] = dx0
+            out_shards[rank] = d_out
+            dev = group.sim.device(rank)
+            dev.compute(2.0 * x0[rank].shape[1] * b * self.num_classes)
+            dev.compute(2.0 * b * self.num_classes * x0[rank].shape[1])
+        self.weight.add_grad(
+            DTensor(group, REPLICATED_1D, dw, self.weight.data.global_shape)
+        )
+        self.bias.add_grad(
+            DTensor(group, REPLICATED_1D, db, self.bias.data.global_shape)
+        )
+        self._saved = None
+        return DTensor(group, REPLICATED_1D, out_shards, ln_out.global_shape)

@@ -1,0 +1,171 @@
+"""Vocab-parallel embedding and tied LM head for the Megatron baseline.
+
+The table ``[v, h]`` is sharded along the vocabulary axis.  Forward gathers
+each device's stripe locally (zeros elsewhere) and all-reduces the partial
+embeddings into the replicated activation — Megatron-LM's standard scheme.
+The tied head produces column-sharded logits ``[T, v/p]`` that feed the
+vocab-parallel cross-entropy without any gather of the full logits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import ShapeArray, is_shape_array
+from repro.comm import collectives as coll
+from repro.comm.group import ProcessGroup
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule, DistParam, charge_param_memory
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import REPLICATED_1D, SHARDED_1D
+from repro.mesh.partition import distribute_sharded_1d
+
+
+class VocabParallelEmbedding(DistModule):
+    """Embedding with the table sharded over the vocabulary axis."""
+
+    _cache_attrs = ("_ids",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        cfg: ModelConfig,
+        table_global,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.cfg = cfg
+        self.buffers = buffers
+        self.table = self.register_param(
+            DistParam(
+                "embedding.table", distribute_sharded_1d(group, table_global, axis=0)
+            )
+        )
+        charge_param_memory(self.table, group.sim)
+        self._ids: Optional[DTensor] = None
+
+    def forward(self, ids: DTensor) -> DTensor:
+        """ids REPLICATED_1D [b, s] → replicated activations [b·s, h]."""
+        group = self.group
+        v, h = self.table.data.global_shape
+        p = group.size
+        v_loc = v // p
+        b, s = ids.global_shape
+        T = b * s
+        self._ids = ids
+
+        partial = {}
+        for k, rank in enumerate(group.ranks):
+            idvec = ids.local(rank).reshape((T,))
+            partial[rank] = self._stripe_lookup(
+                self.table.data.local(rank), idvec, k * v_loc, v_loc, h, group.sim.backend
+            )
+            group.sim.device(rank).compute(T * h, kind="elementwise")
+        shards = coll.all_reduce(group, partial)
+        out = DTensor(group, REPLICATED_1D, shards, (T, h))
+        if self.buffers is not None:
+            for rank, shard in out.shards.items():
+                self.buffers.hold("forward", rank, ops.nbytes(shard))
+        return out
+
+    @staticmethod
+    def _stripe_lookup(table_l, idvec, lo, v_loc, h, backend):
+        if is_shape_array(table_l) or is_shape_array(idvec):
+            return ShapeArray((idvec.size, h), table_l.dtype)
+        ids = np.asarray(idvec)
+        out = np.zeros((ids.size, h), dtype=np.asarray(table_l).dtype)
+        mask = (ids >= lo) & (ids < lo + v_loc)
+        rows = np.nonzero(mask)[0]
+        if rows.size:
+            out[rows] = np.asarray(table_l)[ids[rows] - lo]
+        return out
+
+    def backward(self, d_out: DTensor) -> None:
+        """Each device scatter-adds only its own vocabulary stripe (no comm)."""
+        if self._ids is None:
+            raise RuntimeError("embedding backward before forward")
+        group = self.group
+        v, h = self.table.data.global_shape
+        p = group.size
+        v_loc = v // p
+        grads = {}
+        for k, rank in enumerate(group.ranks):
+            d = d_out.local(rank)
+            idvec = self._ids.local(rank).reshape((d.shape[0],))
+            grads[rank] = self._stripe_scatter(d, idvec, k * v_loc, v_loc, h)
+            group.sim.device(rank).compute(d.size, kind="elementwise")
+        self.table.add_grad(DTensor(group, SHARDED_1D(0), grads, (v, h)))
+        self._ids = None
+
+    @staticmethod
+    def _stripe_scatter(d, idvec, lo, v_loc, h):
+        if is_shape_array(d):
+            return ShapeArray((v_loc, h), d.dtype)
+        g = np.zeros((v_loc, h), dtype=np.asarray(d).dtype)
+        ids = np.asarray(idvec)
+        mask = (ids >= lo) & (ids < lo + v_loc)
+        rows = np.nonzero(mask)[0]
+        if rows.size:
+            np.add.at(g, ids[rows] - lo, np.asarray(d)[rows])
+        return g
+
+
+class LMHead1D(DistModule):
+    """Tied head: ``logits_k = X·E_kᵀ`` — output stays vocabulary-sharded."""
+
+    _cache_attrs = ("_x",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        embedding: VocabParallelEmbedding,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.embedding = embedding  # shared table, not re-registered
+        self.buffers = buffers
+        self._x: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        group = self.group
+        self._x = x
+        v, h = self.embedding.table.data.global_shape
+        shards = {}
+        for rank in group.ranks:
+            xl = x.local(rank)
+            tl = self.embedding.table.data.local(rank)
+            shards[rank] = xl @ ops.transpose(tl)
+            group.sim.device(rank).compute(2.0 * xl.shape[0] * h * tl.shape[0])
+        out = DTensor(group, SHARDED_1D(1), shards, (x.global_shape[0], v))
+        if self.buffers is not None:
+            for rank, shard in out.shards.items():
+                self.buffers.hold("forward", rank, ops.nbytes(shard))
+        return out
+
+    def backward(self, dlogits: DTensor) -> DTensor:
+        if self._x is None:
+            raise RuntimeError("lm-head backward before forward")
+        group = self.group
+        dx_partial, d_table = {}, {}
+        for rank in group.ranks:
+            dl = dlogits.local(rank)
+            tl = self.embedding.table.data.local(rank)
+            xl = self._x.local(rank)
+            dx_partial[rank] = dl @ tl
+            d_table[rank] = ops.transpose(dl) @ xl
+            dev = group.sim.device(rank)
+            dev.compute(2.0 * dl.shape[0] * dl.shape[1] * tl.shape[1])
+            dev.compute(2.0 * dl.shape[1] * dl.shape[0] * xl.shape[1])
+        dx_shards = coll.all_reduce(group, dx_partial)
+        self.embedding.table.add_grad(
+            DTensor(group, SHARDED_1D(0), d_table, self.embedding.table.data.global_shape)
+        )
+        dx = DTensor(group, REPLICATED_1D, dx_shards, self._x.global_shape)
+        self._x = None
+        return dx

@@ -1,0 +1,535 @@
+"""Megatron 1-D parallel layers over a flat p-rank process group.
+
+Naming of the f/g conjugate operators follows the Megatron-LM paper: ``f``
+is identity in forward / all-reduce in backward (placed before column-
+parallel weights); ``g`` is all-reduce in forward / identity in backward
+(after row-parallel weights).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.backend import ops
+from repro.comm import collectives as coll
+from repro.comm.group import ProcessGroup
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule, DistParam, charge_param_memory
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import REPLICATED_1D, SHARDED_1D
+from repro.mesh.partition import distribute_replicated_1d, distribute_sharded_1d
+from repro.reference import functional as F
+from repro.reference.attention import (
+    attention_bwd,
+    attention_fwd,
+    fused_attention_bwd,
+    fused_attention_fwd,
+)
+
+_ELEMWISE_COST = {"add": 1.0, "gelu": 10.0, "softmax": 8.0, "layernorm": 8.0}
+
+
+def _hold(buffers: Optional[BufferManager], region: str, dt: DTensor) -> None:
+    if buffers is None:
+        return
+    for rank, shard in dt.shards.items():
+        buffers.hold(region, rank, ops.nbytes(shard))
+
+
+def _charge_elementwise(group: ProcessGroup, dt: DTensor, kind: str) -> None:
+    cost = _ELEMWISE_COST[kind]
+    for rank, shard in dt.shards.items():
+        group.sim.device(rank).compute(cost * shard.size, kind="elementwise")
+
+
+def _gemm_each(group: ProcessGroup, dt_shapes: Dict[int, tuple], n_out) -> None:
+    for rank, (m, k) in dt_shapes.items():
+        group.sim.device(rank).compute(2.0 * m * k * n_out(rank))
+
+
+# ======================================================================
+class ColumnParallelLinear(DistModule):
+    """W split along columns; input replicated, output column-sharded."""
+
+    _cache_attrs = ("_x",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        name: str,
+        weight_global,
+        bias_global=None,
+        buffers: Optional[BufferManager] = None,
+        weight_name: Optional[str] = None,
+        bias_name: Optional[str] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.name = name
+        self.buffers = buffers
+        self.weight = self.register_param(
+            DistParam(
+                weight_name or f"{name}.weight",
+                distribute_sharded_1d(group, weight_global, axis=1),
+            )
+        )
+        charge_param_memory(self.weight, group.sim)
+        self.bias: Optional[DistParam] = None
+        if bias_global is not None:
+            self.bias = self.register_param(
+                DistParam(
+                    bias_name or f"{name}.bias",
+                    distribute_sharded_1d(group, bias_global, axis=0),
+                )
+            )
+            charge_param_memory(self.bias, group.sim)
+        self._x: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        if x.layout != REPLICATED_1D:
+            raise ValueError(f"{self.name}: input must be replicated, got {x.layout}")
+        self._x = x
+        shards = {}
+        for rank in self.group.ranks:
+            xl = x.local(rank)
+            y = xl @ self.weight.data.local(rank)
+            if self.bias is not None:
+                y = y + self.bias.data.local(rank)
+            shards[rank] = y
+            self.group.sim.device(rank).compute(
+                2.0 * xl.shape[0] * xl.shape[1] * y.shape[1]
+            )
+        out_shape = (x.global_shape[0], self.weight.data.global_shape[1])
+        out = DTensor(self.group, SHARDED_1D(1), shards, out_shape)
+        _hold(self.buffers, "forward", out)
+        return out
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dw, db, dx_partial = {}, {}, {}
+        for rank in self.group.ranks:
+            xl = self._x.local(rank)
+            dyl = dy.local(rank)
+            dw[rank] = ops.transpose(xl) @ dyl
+            if self.bias is not None:
+                db[rank] = ops.sum(dyl, axis=0)
+            dx_partial[rank] = dyl @ ops.transpose(self.weight.data.local(rank))
+            dev = self.group.sim.device(rank)
+            dev.compute(2.0 * xl.shape[1] * xl.shape[0] * dyl.shape[1])  # dW
+            dev.compute(2.0 * dyl.shape[0] * dyl.shape[1] * xl.shape[1])  # dx
+        # f operator: all-reduce the input gradient
+        dx_shards = coll.all_reduce(self.group, dx_partial)
+        if self.buffers is not None:
+            for rank, g in dw.items():
+                self.buffers.hold("param_grad", rank, ops.nbytes(g))
+        self.weight.add_grad(
+            DTensor(self.group, SHARDED_1D(1), dw, self.weight.data.global_shape)
+        )
+        if self.bias is not None:
+            self.bias.add_grad(
+                DTensor(self.group, SHARDED_1D(0), db, self.bias.data.global_shape)
+            )
+        dx = DTensor(self.group, REPLICATED_1D, dx_shards, self._x.global_shape)
+        _hold(self.buffers, "backward", dx)
+        self._x = None
+        return dx
+
+
+# ======================================================================
+class RowParallelLinear(DistModule):
+    """W split along rows; input column-sharded, output replicated (g op)."""
+
+    _cache_attrs = ("_x",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        name: str,
+        weight_global,
+        bias_global=None,
+        buffers: Optional[BufferManager] = None,
+        weight_name: Optional[str] = None,
+        bias_name: Optional[str] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.name = name
+        self.buffers = buffers
+        self.weight = self.register_param(
+            DistParam(
+                weight_name or f"{name}.weight",
+                distribute_sharded_1d(group, weight_global, axis=0),
+            )
+        )
+        charge_param_memory(self.weight, group.sim)
+        self.bias: Optional[DistParam] = None
+        if bias_global is not None:
+            # bias is added after the all-reduce, replicated on every device
+            self.bias = self.register_param(
+                DistParam(
+                    bias_name or f"{name}.bias",
+                    distribute_replicated_1d(group, bias_global),
+                )
+            )
+            charge_param_memory(self.bias, group.sim)
+        self._x: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        if x.layout.kind != "sharded_1d" or x.layout.axis != 1:
+            raise ValueError(f"{self.name}: input must be column-sharded, got {x.layout}")
+        self._x = x
+        partial = {}
+        for rank in self.group.ranks:
+            xl = x.local(rank)
+            partial[rank] = xl @ self.weight.data.local(rank)
+            self.group.sim.device(rank).compute(
+                2.0 * xl.shape[0] * xl.shape[1] * partial[rank].shape[1]
+            )
+        reduced = coll.all_reduce(self.group, partial)  # g operator
+        shards = {}
+        for rank in self.group.ranks:
+            y = reduced[rank]
+            if self.bias is not None:
+                y = y + self.bias.data.local(rank)
+            shards[rank] = y
+        out_shape = (x.global_shape[0], self.weight.data.global_shape[1])
+        out = DTensor(self.group, REPLICATED_1D, shards, out_shape)
+        _hold(self.buffers, "forward", out)
+        return out
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dw, dx_shards = {}, {}
+        db = {}
+        for rank in self.group.ranks:
+            xl = self._x.local(rank)
+            dyl = dy.local(rank)
+            dw[rank] = ops.transpose(xl) @ dyl
+            if self.bias is not None:
+                db[rank] = ops.sum(dyl, axis=0)
+            dx_shards[rank] = dyl @ ops.transpose(self.weight.data.local(rank))
+            dev = self.group.sim.device(rank)
+            dev.compute(2.0 * xl.shape[1] * xl.shape[0] * dyl.shape[1])
+            dev.compute(2.0 * dyl.shape[0] * dyl.shape[1] * xl.shape[1])
+        if self.buffers is not None:
+            for rank, g in dw.items():
+                self.buffers.hold("param_grad", rank, ops.nbytes(g))
+        self.weight.add_grad(
+            DTensor(self.group, SHARDED_1D(0), dw, self.weight.data.global_shape)
+        )
+        if self.bias is not None:
+            self.bias.add_grad(
+                DTensor(self.group, REPLICATED_1D, db, self.bias.data.global_shape)
+            )
+        dx = DTensor(self.group, SHARDED_1D(1), dx_shards, self._x.global_shape)
+        _hold(self.buffers, "backward", dx)
+        self._x = None
+        return dx
+
+
+# ======================================================================
+class LayerNorm1D(DistModule):
+    """Layer norm on replicated activations — purely local, replicated params."""
+
+    _cache_attrs = ("_saved",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        name: str,
+        gamma_global,
+        beta_global,
+        eps: float = 1e-5,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.name = name
+        self.eps = eps
+        self.buffers = buffers
+        self.gamma = self.register_param(
+            DistParam(f"{name}.gamma", distribute_replicated_1d(group, gamma_global))
+        )
+        self.beta = self.register_param(
+            DistParam(f"{name}.beta", distribute_replicated_1d(group, beta_global))
+        )
+        charge_param_memory(self.gamma, group.sim)
+        charge_param_memory(self.beta, group.sim)
+        self._saved = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        shards, xhat, inv = {}, {}, {}
+        for rank in self.group.ranks:
+            out, x_hat, inv_std = F.layernorm_fwd(
+                x.local(rank),
+                self.gamma.data.local(rank),
+                self.beta.data.local(rank),
+                self.eps,
+            )
+            shards[rank], xhat[rank], inv[rank] = out, x_hat, inv_std
+        out_dt = DTensor(self.group, REPLICATED_1D, shards, x.global_shape)
+        _charge_elementwise(self.group, out_dt, "layernorm")
+        self._saved = (xhat, inv)
+        _hold(self.buffers, "forward", out_dt)
+        return out_dt
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._saved is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        xhat, inv = self._saved
+        dx, dg, db = {}, {}, {}
+        for rank in self.group.ranks:
+            dxl, dgl, dbl = F.layernorm_bwd(
+                dy.local(rank), xhat[rank], inv[rank], self.gamma.data.local(rank)
+            )
+            dx[rank], dg[rank], db[rank] = dxl, dgl, dbl
+        self.gamma.add_grad(
+            DTensor(self.group, REPLICATED_1D, dg, self.gamma.data.global_shape)
+        )
+        self.beta.add_grad(
+            DTensor(self.group, REPLICATED_1D, db, self.beta.data.global_shape)
+        )
+        out = DTensor(self.group, REPLICATED_1D, dx, dy.global_shape)
+        _charge_elementwise(self.group, out, "layernorm")
+        self._saved = None
+        return out
+
+
+# ======================================================================
+class SelfAttention1D(DistModule):
+    """Megatron self-attention: heads split p ways, b and s replicated."""
+
+    _cache_attrs = ("_saved",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        cfg: ModelConfig,
+        name: str,
+        wqkv,
+        bqkv,
+        wo,
+        bo,
+        buffers: Optional[BufferManager] = None,
+        fused: bool = False,
+        attention_chunk: int = 64,
+    ):
+        super().__init__()
+        self.group = group
+        self.cfg = cfg
+        self.name = name
+        self.buffers = buffers
+        self.fused = fused
+        self.attention_chunk = attention_chunk
+        self.qkv_linear = self.register_module(
+            ColumnParallelLinear(
+                group, f"{name}.qkv", wqkv, bqkv, buffers,
+                weight_name=f"{name}.wqkv", bias_name=f"{name}.bqkv",
+            )
+        )
+        self.out_linear = self.register_module(
+            RowParallelLinear(
+                group, f"{name}.out", wo, bo, buffers,
+                weight_name=f"{name}.wo", bias_name=f"{name}.bo",
+            )
+        )
+        self._saved = None
+
+    def forward(self, x: DTensor, batch_size: int) -> DTensor:
+        cfg, group = self.cfg, self.group
+        p = group.size
+        b, s = batch_size, cfg.seq_len
+        n_loc = cfg.num_heads // p
+        d = cfg.head_dim
+        T, h = x.global_shape
+        inv_sqrt_d = 1.0 / math.sqrt(d)
+
+        qkv = self.qkv_linear.forward(x)  # [T, 3h] column-sharded
+        qs, ks, vs, saved_s, ctx_shards = {}, {}, {}, {}, {}
+        for rank in group.ranks:
+            local = qkv.local(rank).reshape((b, s, n_loc, 3, d))
+            qh = local[:, :, :, 0, :].transpose(0, 2, 1, 3)
+            kh = local[:, :, :, 1, :].transpose(0, 2, 1, 3)
+            vh = local[:, :, :, 2, :].transpose(0, 2, 1, 3)
+            dev = group.sim.device(rank)
+            if self.fused:
+                ctx, m_stat, l_stat = fused_attention_fwd(
+                    qh, kh, vh, chunk=self.attention_chunk
+                )
+                saved_s[rank] = (ctx, m_stat, l_stat)
+                held = ops.nbytes(m_stat) + ops.nbytes(l_stat)
+            else:
+                ctx, probs = attention_fwd(qh, kh, vh)
+                saved_s[rank] = probs
+                held = ops.nbytes(probs)
+                dev.compute(_ELEMWISE_COST["softmax"] * probs.size, kind="elementwise")
+            dev.compute(2.0 * b * n_loc * s * s * d)
+            dev.compute(2.0 * b * n_loc * s * s * d)
+            qs[rank], ks[rank], vs[rank] = qh, kh, vh
+            ctx_shards[rank] = ctx.transpose(0, 2, 1, 3).reshape((T, n_loc * d))
+            if self.buffers is not None:
+                self.buffers.hold("forward", rank, held)
+                self.buffers.hold("forward", rank, ops.nbytes(ctx_shards[rank]))
+        ctx_dt = DTensor(group, SHARDED_1D(1), ctx_shards, (T, h))
+        self._saved = (qs, ks, vs, saved_s, b, s, n_loc, d)
+        return self.out_linear.forward(ctx_dt)
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._saved is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        group = self.group
+        qs, ks, vs, saved_s, b, s, n_loc, d = self._saved
+        T, h = dy.global_shape
+
+        d_ctx = self.out_linear.backward(dy)  # [T, h] column-sharded
+        dqkv_shards = {}
+        for rank in group.ranks:
+            dc = d_ctx.local(rank).reshape((b, s, n_loc, d)).transpose(0, 2, 1, 3)
+            qh, kh, vh = qs[rank], ks[rank], vs[rank]
+            dev = group.sim.device(rank)
+            if self.fused:
+                ctx, m_stat, l_stat = saved_s[rank]
+                d_q, d_k, d_v = fused_attention_bwd(
+                    qh, kh, vh, ctx, m_stat, l_stat, dc, chunk=self.attention_chunk
+                )
+                n_gemms = 5
+            else:
+                probs = saved_s[rank]
+                d_q, d_k, d_v = attention_bwd(qh, kh, vh, probs, dc)
+                n_gemms = 4
+                dev.compute(_ELEMWISE_COST["softmax"] * probs.size, kind="elementwise")
+            for _ in range(n_gemms):
+                dev.compute(2.0 * b * n_loc * s * s * d)
+
+            def _undo(t):
+                return t.transpose(0, 2, 1, 3)
+
+            dqkv_r = ops.stack([_undo(d_q), _undo(d_k), _undo(d_v)], axis=3)
+            dqkv_shards[rank] = dqkv_r.reshape((T, n_loc * 3 * d))
+        dqkv = DTensor(group, SHARDED_1D(1), dqkv_shards, (T, 3 * h))
+        self._saved = None
+        return self.qkv_linear.backward(dqkv)
+
+
+# ======================================================================
+class MLP1D(DistModule):
+    """Column-parallel fc1 → local GELU → row-parallel fc2."""
+
+    _cache_attrs = ("_pre",)
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        name: str,
+        w1,
+        b1,
+        w2,
+        b2,
+        buffers: Optional[BufferManager] = None,
+    ):
+        super().__init__()
+        self.group = group
+        self.name = name
+        self.buffers = buffers
+        self.fc1 = self.register_module(
+            ColumnParallelLinear(
+                group, f"{name}.fc1", w1, b1, buffers,
+                weight_name=f"{name}.w1", bias_name=f"{name}.b1",
+            )
+        )
+        self.fc2 = self.register_module(
+            RowParallelLinear(
+                group, f"{name}.fc2", w2, b2, buffers,
+                weight_name=f"{name}.w2", bias_name=f"{name}.b2",
+            )
+        )
+        self._pre: Optional[DTensor] = None
+
+    def forward(self, x: DTensor) -> DTensor:
+        pre = self.fc1.forward(x)
+        self._pre = pre
+        act = pre.map(F.gelu)
+        _charge_elementwise(self.group, act, "gelu")
+        _hold(self.buffers, "forward", act)
+        return self.fc2.forward(act)
+
+    def backward(self, dy: DTensor) -> DTensor:
+        if self._pre is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        d_act = self.fc2.backward(dy)
+        d_pre = self._pre.zip_map(d_act, lambda pre, da: F.gelu_bwd(pre, da))
+        _charge_elementwise(self.group, d_pre, "gelu")
+        self._pre = None
+        return self.fc1.backward(d_pre)
+
+
+# ======================================================================
+class TransformerLayer1D(DistModule):
+    """Pre-LN Megatron layer, mirroring :class:`TransformerLayer2D`."""
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        cfg: ModelConfig,
+        layer_index: int,
+        params: dict,
+        buffers: Optional[BufferManager] = None,
+        fused_attention: bool = False,
+        attention_chunk: int = 64,
+    ):
+        super().__init__()
+        self.group = group
+        self.cfg = cfg
+        self.index = layer_index
+        self.buffers = buffers
+        pre = f"layer{layer_index}"
+        self.ln1 = self.register_module(
+            LayerNorm1D(
+                group, f"{pre}.ln1", params[f"{pre}.ln1.gamma"],
+                params[f"{pre}.ln1.beta"], cfg.ln_eps, buffers,
+            )
+        )
+        self.attn = self.register_module(
+            SelfAttention1D(
+                group, cfg, f"{pre}.attn",
+                params[f"{pre}.attn.wqkv"], params[f"{pre}.attn.bqkv"],
+                params[f"{pre}.attn.wo"], params[f"{pre}.attn.bo"], buffers,
+                fused=fused_attention, attention_chunk=attention_chunk,
+            )
+        )
+        self.ln2 = self.register_module(
+            LayerNorm1D(
+                group, f"{pre}.ln2", params[f"{pre}.ln2.gamma"],
+                params[f"{pre}.ln2.beta"], cfg.ln_eps, buffers,
+            )
+        )
+        self.mlp = self.register_module(
+            MLP1D(
+                group, f"{pre}.mlp",
+                params[f"{pre}.mlp.w1"], params[f"{pre}.mlp.b1"],
+                params[f"{pre}.mlp.w2"], params[f"{pre}.mlp.b2"], buffers,
+            )
+        )
+
+    def forward(self, x: DTensor, batch_size: int) -> DTensor:
+        attn_out = self.attn.forward(self.ln1.forward(x), batch_size)
+        x_mid = x + attn_out
+        _charge_elementwise(self.group, x_mid, "add")
+        _hold(self.buffers, "forward", x_mid)
+        mlp_out = self.mlp.forward(self.ln2.forward(x_mid))
+        out = x_mid + mlp_out
+        _charge_elementwise(self.group, out, "add")
+        _hold(self.buffers, "forward", out)
+        return out
+
+    def backward(self, dy: DTensor) -> DTensor:
+        d_ln2_out = self.mlp.backward(dy)
+        d_xmid = dy + self.ln2.backward(d_ln2_out)
+        d_ln1_out = self.attn.backward(d_xmid)
+        dx = d_xmid + self.ln1.backward(d_ln1_out)
+        _charge_elementwise(self.group, dx, "add")
+        return dx

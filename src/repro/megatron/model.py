@@ -1,0 +1,312 @@
+"""The full Megatron baseline model.
+
+Mirrors :class:`repro.core.model.OptimusModel` module-for-module so the two
+schemes are compared on identical architectures and identical global
+parameters.
+
+Activation checkpointing supports two layouts:
+
+* ``distributed`` (default, the paper's §3.1.1 assumption): each device
+  keeps a 1/p slice (along tokens) of every layer input, so checkpoint
+  memory is ``N·bsh/p`` per device; the recompute in backward must first
+  all-gather the slice back into the replicated input (an extra
+  ``(p−1)/p·bsh`` of traffic per layer that the paper's Table 1 does not
+  count — we document the delta in EXPERIMENTS.md);
+* ``replicated``: vanilla Megatron-LM behaviour — full ``bsh`` input kept
+  per device, no gather needed.
+
+Either way, the *working* activations inside a layer are replicated and of
+size O(bsh) per device — the memory wall of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import ShapeArray
+from repro.comm import collectives as coll
+from repro.comm.group import ProcessGroup
+from repro.config import ModelConfig
+from repro.core.buffers import BufferManager
+from repro.core.param import DistModule
+from repro.megatron.embedding import LMHead1D, VocabParallelEmbedding
+from repro.megatron.layers import LayerNorm1D, TransformerLayer1D
+from repro.megatron.loss import VocabParallelCrossEntropy
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import REPLICATED_1D
+from repro.mesh.partition import distribute_replicated_1d
+from repro.runtime.simulator import Simulator
+
+
+class MegatronModel(DistModule):
+    """1-D tensor-parallel transformer over a flat group of p devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ModelConfig,
+        params_global: Dict[str, object],
+        checkpoint_activations: bool = True,
+        checkpoint_layout: str = "distributed",
+        buffers: Optional[BufferManager] = None,
+        manage_buffers: bool = True,
+        stem_only: bool = False,
+        fused_attention: bool = False,
+        attention_chunk: int = 64,
+    ):
+        super().__init__()
+        if checkpoint_layout not in ("distributed", "replicated"):
+            raise ValueError(f"unknown checkpoint layout {checkpoint_layout!r}")
+        self.sim = sim
+        self.cfg = cfg
+        self.group = ProcessGroup(sim, sim.ranks, kind="megatron")
+        self.checkpoint = checkpoint_activations
+        self.checkpoint_layout = checkpoint_layout
+        self.stem_only = stem_only
+        self.buffers = buffers if buffers is not None else BufferManager(
+            sim, ranks=self.group.ranks, managed=manage_buffers
+        )
+        self.embedding = None
+        self.final_ln = None
+        self.lm_head = None
+        self.loss_fn = None
+        self.cls_head = None
+        if not stem_only:
+            self.embedding = self.register_module(
+                VocabParallelEmbedding(
+                    self.group, cfg, params_global["embedding.table"], self.buffers
+                )
+            )
+        self.fused_attention = fused_attention
+        self.layers: List[TransformerLayer1D] = [
+            self.register_module(
+                TransformerLayer1D(
+                    self.group, cfg, l, params_global, self.buffers,
+                    fused_attention=fused_attention,
+                    attention_chunk=attention_chunk,
+                )
+            )
+            for l in range(cfg.num_layers)
+        ]
+        if not stem_only:
+            self.final_ln = self.register_module(
+                LayerNorm1D(
+                    self.group, "final_ln", params_global["final_ln.gamma"],
+                    params_global["final_ln.beta"], cfg.ln_eps, self.buffers,
+                )
+            )
+            self.lm_head = self.register_module(
+                LMHead1D(self.group, self.embedding, self.buffers)
+            )
+            self.loss_fn = VocabParallelCrossEntropy(self.group, self.buffers)
+            if "cls_head.weight" in params_global:
+                from repro.megatron.cls_head import ClassificationHead1D
+
+                self.cls_head = self.register_module(
+                    ClassificationHead1D(
+                        self.group, cfg, params_global["cls_head.weight"],
+                        params_global["cls_head.bias"], self.buffers,
+                    )
+                )
+
+        self._ckpt_inputs: List[object] = []
+        self._batch_size: Optional[int] = None
+        self._stem_out: Optional[DTensor] = None
+
+    # ------------------------------------------------------------------
+    def synthetic_batch(self, batch_size: int, seed: int = 0):
+        b, s, v = batch_size, self.cfg.seq_len, self.cfg.vocab_size
+        if self.sim.backend == "shape":
+            return ShapeArray((b, s), "int64"), ShapeArray((b, s), "int64")
+        rng = np.random.default_rng(seed)
+        return (
+            rng.integers(0, v, size=(b, s)),
+            rng.integers(0, v, size=(b, s)),
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, ids, labels=None):
+        cfg = self.cfg
+        b, s = ids.shape
+        if s != cfg.seq_len:
+            raise ValueError(f"sequence length {s} != config seq_len {cfg.seq_len}")
+        cfg.validate_for_megatron(self.group.size, b)
+        self._batch_size = b
+        ids_dt = distribute_replicated_1d(self.group, ids)
+
+        x = self.embedding.forward(ids_dt)
+        self._ckpt_inputs = []
+        for layer in self.layers:
+            if self.checkpoint:
+                self._ckpt_inputs.append(self._store_checkpoint(x))
+            x = layer.forward(x, b)
+            if self.checkpoint:
+                layer.drop_caches()
+                self.buffers.reset_region("forward")
+
+        out = self.final_ln.forward(x)
+        logits = self.lm_head.forward(out)
+        if labels is None:
+            return logits
+        labels_dt = distribute_replicated_1d(self.group, labels)
+        return self.loss_fn.forward(logits, labels_dt)
+
+    def backward(self) -> None:
+        if self._batch_size is None:
+            raise RuntimeError("backward before forward")
+        b = self._batch_size
+        dlogits = self.loss_fn.backward()
+        dx = self.lm_head.backward(dlogits)
+        dx = self.final_ln.backward(dx)
+        for layer in reversed(self.layers):
+            if self.checkpoint:
+                x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
+                layer.forward(x_in, b)
+            dx = layer.backward(dx)
+            if self.checkpoint:
+                self.buffers.reset_region("forward")
+                self.buffers.reset_region("backward")
+        self.embedding.backward(dx)
+        if self.checkpoint:
+            self.buffers.reset_region("checkpoint")
+        self._batch_size = None
+
+    def loss_and_grads(self, ids, labels):
+        loss = self.forward(ids, labels)
+        self.backward()
+        return loss, {p.name: p.grad for p in self.parameters()}
+
+    # ------------------------------------------------------------------
+    # classification branch (paper Fig. 1, right side)
+    # ------------------------------------------------------------------
+    def forward_classification(self, ids, cls_labels=None):
+        """Sequence classification via token-0 pooling (Fig. 1)."""
+        if self.cls_head is None:
+            raise RuntimeError(
+                "model built without cls_head.* parameters "
+                "(init_transformer_params(num_classes=...))"
+            )
+        cfg = self.cfg
+        b, s = ids.shape
+        if s != cfg.seq_len:
+            raise ValueError(f"sequence length {s} != config seq_len {cfg.seq_len}")
+        cfg.validate_for_megatron(self.group.size, b)
+        self._batch_size = b
+        x = self.embedding.forward(distribute_replicated_1d(self.group, ids))
+        self._ckpt_inputs = []
+        for layer in self.layers:
+            if self.checkpoint:
+                self._ckpt_inputs.append(self._store_checkpoint(x))
+            x = layer.forward(x, b)
+            if self.checkpoint:
+                layer.drop_caches()
+                self.buffers.reset_region("forward")
+        out = self.final_ln.forward(x)
+        if cls_labels is None:
+            return self.cls_head.forward(out)
+        labels_dt = distribute_replicated_1d(self.group, cls_labels)
+        return self.cls_head.forward(out, labels_dt)
+
+    def backward_classification(self) -> None:
+        if self._batch_size is None:
+            raise RuntimeError("backward before forward")
+        b = self._batch_size
+        dx = self.final_ln.backward(self.cls_head.backward())
+        for layer in reversed(self.layers):
+            if self.checkpoint:
+                x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
+                layer.forward(x_in, b)
+            dx = layer.backward(dx)
+            if self.checkpoint:
+                self.buffers.reset_region("forward")
+                self.buffers.reset_region("backward")
+        self.embedding.backward(dx)
+        if self.checkpoint:
+            self.buffers.reset_region("checkpoint")
+        self._batch_size = None
+
+    # ------------------------------------------------------------------
+    # stem-only execution (the paper's §5 measurement workload)
+    # ------------------------------------------------------------------
+    def _synthetic_activation(self, batch_size: int) -> DTensor:
+        """A replicated [b·s, h] activation on the simulator's backend."""
+        cfg = self.cfg
+        T, h = batch_size * cfg.seq_len, cfg.hidden_size
+        shards = {}
+        rng = np.random.default_rng(0)
+        base = None
+        for rank in self.group.ranks:
+            if self.sim.backend == "shape":
+                shards[rank] = ShapeArray((T, h), "float32")
+            else:
+                if base is None:
+                    base = rng.normal(size=(T, h))
+                shards[rank] = base if rank == 0 else base.copy()
+        return DTensor(self.group, REPLICATED_1D, shards, (T, h))
+
+    def stem_forward(self, batch_size: int) -> DTensor:
+        """Run only the N transformer layers (Tables 2–3 workload)."""
+        self.cfg.validate_for_megatron(self.group.size, batch_size, include_vocab=False)
+        self._batch_size = batch_size
+        x = self._synthetic_activation(batch_size)
+        self._ckpt_inputs = []
+        for layer in self.layers:
+            if self.checkpoint:
+                self._ckpt_inputs.append(self._store_checkpoint(x))
+            x = layer.forward(x, batch_size)
+            if self.checkpoint:
+                layer.drop_caches()
+                self.buffers.reset_region("forward")
+        self._stem_out = x
+        return x
+
+    def stem_backward(self) -> DTensor:
+        if self._stem_out is None:
+            raise RuntimeError("stem_backward before stem_forward")
+        b = self._batch_size
+        dx = self._stem_out.map(ops.zeros_like)
+        for layer in reversed(self.layers):
+            if self.checkpoint:
+                x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
+                layer.forward(x_in, b)
+            dx = layer.backward(dx)
+            if self.checkpoint:
+                self.buffers.reset_region("forward")
+                self.buffers.reset_region("backward")
+        if self.checkpoint:
+            self.buffers.reset_region("checkpoint")
+        self._stem_out = None
+        self._batch_size = None
+        return dx
+
+    # ------------------------------------------------------------------
+    # checkpoint storage
+    # ------------------------------------------------------------------
+    def _store_checkpoint(self, x: DTensor):
+        group = self.group
+        p = group.size
+        if self.checkpoint_layout == "replicated":
+            for rank in group.ranks:
+                self.buffers.hold("checkpoint", rank, ops.nbytes(x.local(rank)))
+            return ("replicated", x)
+        # distributed: rank k keeps a ~T/p row slice (uneven when p ∤ T)
+        T = x.global_shape[0]
+        base, extra = divmod(T, p)
+        slices = {}
+        start = 0
+        for k, rank in enumerate(group.ranks):
+            count = base + (1 if k < extra else 0)
+            slices[rank] = x.local(rank)[start : start + count]
+            start += count
+            self.buffers.hold("checkpoint", rank, ops.nbytes(slices[rank]))
+        return ("distributed", slices, x.global_shape)
+
+    def _restore_checkpoint(self, entry) -> DTensor:
+        if entry[0] == "replicated":
+            return entry[1]
+        _, slices, shape = entry
+        gathered = coll.all_gather(self.group, slices, axis=0)
+        return DTensor(self.group, REPLICATED_1D, gathered, shape)

@@ -1,0 +1,105 @@
+"""Distributed tensors: a layout plus one local shard per rank."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.backend import ops
+from repro.mesh.layouts import Layout
+
+
+class DTensor:
+    """A logical global tensor stored as per-rank shards.
+
+    ``owner`` is the :class:`~repro.mesh.mesh.Mesh` (2-D layouts) or the flat
+    :class:`~repro.comm.group.ProcessGroup` (1-D layouts) the shards live on.
+    The class is deliberately thin — distributed *math* lives in the model
+    modules, which know which collectives each operation needs; DTensor only
+    carries data, shape bookkeeping, and elementwise conveniences that
+    require no communication.
+    """
+
+    __slots__ = ("owner", "layout", "shards", "global_shape")
+
+    def __init__(
+        self,
+        owner,
+        layout: Layout,
+        shards: Dict[int, object],
+        global_shape: Tuple[int, ...],
+    ):
+        self.owner = owner
+        self.layout = layout
+        self.shards = dict(shards)
+        self.global_shape = tuple(int(s) for s in global_shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> Iterable[int]:
+        return self.shards.keys()
+
+    @property
+    def dtype(self):
+        return next(iter(self.shards.values())).dtype
+
+    def local(self, rank: int):
+        return self.shards[rank]
+
+    def shard_nbytes(self) -> int:
+        return ops.nbytes(next(iter(self.shards.values())))
+
+    # ------------------------------------------------------------------
+    # communication-free elementwise helpers
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable) -> "DTensor":
+        """Apply ``fn`` to every shard; layout and global shape unchanged."""
+        return DTensor(
+            self.owner,
+            self.layout,
+            {r: fn(x) for r, x in self.shards.items()},
+            self.global_shape,
+        )
+
+    def zip_map(self, other: "DTensor", fn: Callable) -> "DTensor":
+        """Elementwise combine two same-layout DTensors shard by shard."""
+        if self.layout != other.layout or self.global_shape != other.global_shape:
+            raise ValueError(
+                f"layout/shape mismatch: {self.layout}/{self.global_shape} vs "
+                f"{other.layout}/{other.global_shape}"
+            )
+        if set(self.shards) != set(other.shards):
+            raise ValueError("rank sets differ")
+        return DTensor(
+            self.owner,
+            self.layout,
+            {r: fn(x, other.shards[r]) for r, x in self.shards.items()},
+            self.global_shape,
+        )
+
+    def __add__(self, other: "DTensor") -> "DTensor":
+        return self.zip_map(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "DTensor") -> "DTensor":
+        return self.zip_map(other, lambda a, b: a - b)
+
+    def __mul__(self, scalar) -> "DTensor":
+        if isinstance(scalar, DTensor):
+            return self.zip_map(scalar, lambda a, b: a * b)
+        return self.map(lambda x: x * scalar)
+
+    __rmul__ = __mul__
+
+    def copy(self) -> "DTensor":
+        return self.map(ops.copy)
+
+    def astype(self, dtype) -> "DTensor":
+        return self.map(lambda x: ops.astype(x, dtype))
+
+    def zeros_like(self) -> "DTensor":
+        return self.map(ops.zeros_like)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DTensor(layout={self.layout}, global_shape={self.global_shape}, "
+            f"ranks={len(self.shards)})"
+        )

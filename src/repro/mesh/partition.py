@@ -1,0 +1,176 @@
+"""Partition global arrays into shards and assemble them back.
+
+These helpers implement the layouts of :mod:`repro.mesh.layouts` for both
+backends (real ndarrays and dryrun ShapeArrays — basic slicing works on
+both).  They model *initial placement* and *test-time inspection*, so they
+charge no communication: a real job would materialize parameters directly on
+their owning devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import ops
+from repro.comm.group import ProcessGroup
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import (
+    BLOCKED_2D,
+    RANK0,
+    REPLICATED,
+    REPLICATED_1D,
+    ROW0_BLOCKROWS,
+    ROW0_COLS,
+    ROW_BLOCKED,
+    SHARDED_1D,
+)
+from repro.mesh.mesh import Mesh
+
+
+def _check_divisible(dim: int, parts: int, what: str) -> int:
+    if dim % parts != 0:
+        raise ValueError(f"{what} of size {dim} not divisible by {parts}")
+    return dim // parts
+
+
+def block_slice(dim: int, parts: int, index: int) -> slice:
+    """The ``index``-th of ``parts`` equal slices of an axis of size ``dim``."""
+    step = _check_divisible(dim, parts, "axis")
+    return slice(index * step, (index + 1) * step)
+
+
+# ----------------------------------------------------------------------
+# 2-D mesh layouts
+# ----------------------------------------------------------------------
+def distribute_blocked_2d(mesh: Mesh, a) -> DTensor:
+    """Split a 2-D matrix into q×q blocks; coord (i, j) gets block (i, j)."""
+    if a.ndim != 2:
+        raise ValueError(f"blocked_2d requires a 2-D matrix, got shape {a.shape}")
+    q = mesh.q
+    _check_divisible(a.shape[0], q, "rows")
+    _check_divisible(a.shape[1], q, "cols")
+    shards = {}
+    for i in range(q):
+        ri = block_slice(a.shape[0], q, i)
+        for j in range(q):
+            cj = block_slice(a.shape[1], q, j)
+            shards[mesh.rank(i, j)] = a[ri, cj]
+    return DTensor(mesh, BLOCKED_2D, shards, a.shape)
+
+
+def assemble_blocked_2d(dt: DTensor) -> object:
+    """Inverse of :func:`distribute_blocked_2d`."""
+    mesh: Mesh = dt.owner
+    q = mesh.q
+    rows = [
+        ops.concatenate([dt.local(mesh.rank(i, j)) for j in range(q)], axis=1)
+        for i in range(q)
+    ]
+    return ops.concatenate(rows, axis=0)
+
+
+def distribute_row_blocked(mesh: Mesh, a) -> DTensor:
+    """Split axis 0 by mesh row; replicate within each row (token ids, labels)."""
+    q = mesh.q
+    _check_divisible(a.shape[0], q, "axis 0")
+    shards = {}
+    for i in range(q):
+        block = a[block_slice(a.shape[0], q, i)]
+        for j in range(q):
+            rank = mesh.rank(i, j)
+            shards[rank] = block if j == 0 else _replica(block)
+    return DTensor(mesh, ROW_BLOCKED, shards, a.shape)
+
+
+def assemble_row_blocked(dt: DTensor) -> object:
+    mesh: Mesh = dt.owner
+    return ops.concatenate([dt.local(mesh.rank(i, 0)) for i in range(mesh.q)], axis=0)
+
+
+def distribute_row0_cols(mesh: Mesh, a) -> DTensor:
+    """Split a 1-D vector into q blocks hosted by mesh row 0 (paper Fig. 5)."""
+    if a.ndim != 1:
+        raise ValueError(f"row0_cols requires a 1-D vector, got shape {a.shape}")
+    q = mesh.q
+    _check_divisible(a.shape[0], q, "vector")
+    shards = {mesh.rank(0, j): a[block_slice(a.shape[0], q, j)] for j in range(q)}
+    return DTensor(mesh, ROW0_COLS, shards, a.shape)
+
+
+def assemble_row0_cols(dt: DTensor) -> object:
+    mesh: Mesh = dt.owner
+    return ops.concatenate([dt.local(mesh.rank(0, j)) for j in range(mesh.q)], axis=0)
+
+
+def distribute_row0_blockrows(mesh: Mesh, a) -> DTensor:
+    """Split a 2-D matrix along axis 0 into q blocks hosted by mesh row 0."""
+    if a.ndim != 2:
+        raise ValueError(f"row0_blockrows requires a 2-D matrix, got {a.shape}")
+    q = mesh.q
+    _check_divisible(a.shape[0], q, "rows")
+    shards = {
+        mesh.rank(0, j): a[block_slice(a.shape[0], q, j)] for j in range(q)
+    }
+    return DTensor(mesh, ROW0_BLOCKROWS, shards, a.shape)
+
+
+def assemble_row0_blockrows(dt: DTensor) -> object:
+    mesh: Mesh = dt.owner
+    return ops.concatenate([dt.local(mesh.rank(0, j)) for j in range(mesh.q)], axis=0)
+
+
+def assemble_any(dt: DTensor) -> object:
+    """Assemble any DTensor back to a global array, dispatching on layout."""
+    kind = dt.layout.kind
+    if kind == "blocked_2d":
+        return assemble_blocked_2d(dt)
+    if kind == "row_blocked":
+        return assemble_row_blocked(dt)
+    if kind == "row0_cols":
+        return assemble_row0_cols(dt)
+    if kind == "row0_blockrows":
+        return assemble_row0_blockrows(dt)
+    if kind == "sharded_1d":
+        return assemble_sharded_1d(dt)
+    if kind in ("replicated", "replicated_1d", "rank0"):
+        return dt.local(next(iter(sorted(dt.shards))))
+    raise ValueError(f"cannot assemble layout {dt.layout}")
+
+
+def distribute_replicated(mesh: Mesh, a) -> DTensor:
+    shards = {r: (a if r == 0 else _replica(a)) for r in mesh.ranks}
+    return DTensor(mesh, REPLICATED, shards, a.shape)
+
+
+# ----------------------------------------------------------------------
+# flat (1-D / Megatron) layouts
+# ----------------------------------------------------------------------
+def distribute_sharded_1d(group: ProcessGroup, a, axis: int) -> DTensor:
+    """Split ``a`` along ``axis`` into ``group.size`` equal shards."""
+    axis = axis % a.ndim
+    _check_divisible(a.shape[axis], group.size, f"axis {axis}")
+    pieces = ops.split(a, group.size, axis=axis)
+    shards = {r: pieces[k] for k, r in enumerate(group.ranks)}
+    return DTensor(group, SHARDED_1D(axis), shards, a.shape)
+
+
+def assemble_sharded_1d(dt: DTensor) -> object:
+    group: ProcessGroup = dt.owner
+    return ops.concatenate([dt.local(r) for r in group.ranks], axis=dt.layout.axis)
+
+
+def distribute_replicated_1d(group: ProcessGroup, a) -> DTensor:
+    shards = {r: (a if k == 0 else _replica(a)) for k, r in enumerate(group.ranks)}
+    return DTensor(group, REPLICATED_1D, shards, a.shape)
+
+
+def assemble_replicated(dt: DTensor) -> object:
+    """Any replicated layout: return rank 0's copy (they are all equal)."""
+    return dt.local(next(iter(sorted(dt.shards))))
+
+
+def _replica(x):
+    """Copy so ranks never alias each other's buffers (no-op for dryrun)."""
+    from repro.backend.shape_array import is_shape_array
+
+    return x if is_shape_array(x) else np.array(x, copy=True)

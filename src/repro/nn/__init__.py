@@ -1,0 +1,15 @@
+"""Shared neural-network utilities: parameter initialization and gradient
+checking.  Both parallel schemes and the serial reference consume the *same*
+globally-initialized parameter dict, which is what makes bit-level
+equivalence testing between the three implementations possible.
+"""
+
+from repro.nn.init import init_transformer_params, spectral_scale
+from repro.nn.gradcheck import numerical_grad, check_grad
+
+__all__ = [
+    "init_transformer_params",
+    "spectral_scale",
+    "numerical_grad",
+    "check_grad",
+]

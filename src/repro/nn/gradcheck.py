@@ -1,0 +1,37 @@
+"""Finite-difference gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_grad(f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6):
+    """Central-difference gradient of a scalar function at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        fp = float(f(x))
+        flat[i] = old - eps
+        fm = float(f(x))
+        flat[i] = old
+        gflat[i] = (fp - fm) / (2.0 * eps)
+    return g
+
+
+def check_grad(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    analytic: np.ndarray,
+    eps: float = 1e-6,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> None:
+    """Assert that ``analytic`` matches the finite-difference gradient."""
+    num = numerical_grad(f, x, eps=eps)
+    np.testing.assert_allclose(np.asarray(analytic), num, rtol=rtol, atol=atol)

@@ -1,0 +1,62 @@
+"""Closed-form performance and memory models (paper §2.5, §3.1, §4, Table 1).
+
+These are the paper's own analytic expressions, kept separate from the
+simulator so each can validate the other: the Table 1 benchmark checks that
+the simulator's measured per-device communication volumes and GEMM MACs
+match these formulas exactly, and the memory model is cross-checked against
+the dryrun allocator in the test suite.
+"""
+
+from repro.perfmodel.costs import (
+    megatron_comm_forward,
+    megatron_comm_backward,
+    optimus_comm_forward,
+    optimus_comm_backward,
+    layer_macs_forward,
+    layer_macs_backward,
+    TABLE1,
+)
+from repro.perfmodel.isoefficiency import (
+    efficiency_megatron,
+    efficiency_optimus,
+    isoefficiency_hidden,
+    isoefficiency_work,
+    asymptotic_work_megatron,
+    asymptotic_work_optimus,
+)
+from repro.perfmodel.memory_model import (
+    MemoryBreakdown,
+    estimate_peak_bytes,
+    measure_peak_bytes,
+    max_batch_size,
+)
+from repro.perfmodel.scaling import (
+    amdahl_speedup,
+    gustafson_speedup,
+    weak_scaling_efficiency,
+    strong_scaling_efficiency,
+)
+
+__all__ = [
+    "megatron_comm_forward",
+    "megatron_comm_backward",
+    "optimus_comm_forward",
+    "optimus_comm_backward",
+    "layer_macs_forward",
+    "layer_macs_backward",
+    "TABLE1",
+    "efficiency_megatron",
+    "efficiency_optimus",
+    "isoefficiency_hidden",
+    "isoefficiency_work",
+    "asymptotic_work_megatron",
+    "asymptotic_work_optimus",
+    "MemoryBreakdown",
+    "estimate_peak_bytes",
+    "measure_peak_bytes",
+    "max_batch_size",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "weak_scaling_efficiency",
+    "strong_scaling_efficiency",
+]

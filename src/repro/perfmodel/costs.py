@@ -1,0 +1,85 @@
+"""Table 1 of the paper: per-layer communication and computation costs.
+
+Communication entries are in *scalars transferred*, weighted by the
+collective's stage factor exactly as in §2.5: a broadcast or reduce of B
+scalars in a group of g devices counts ``log₂(g)·B`` (Eq. 4); a ring
+all-reduce counts ``2(g−1)/g·B`` (Eq. 5).  Computation entries are in
+scalar multiply-accumulates (MACs), as in the paper.
+
+Derivation of the Optimus forward row (per device): the four SUMMA products
+of one layer move, per Algorithm-1/2 step, one activation block
+(``bsh/p``) plus one parameter block; summed over q steps with the
+``log₂ q`` stage weight this is ``log₂(q)/√p · (Σ act + Σ param)`` where
+Σ act = (1+1+1+4)·bsh and Σ param = (3+1+4+4)·h² — i.e. the paper's
+``log(p)/(2√p)·(7bsh + 12h²)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def megatron_comm_forward(b: int, s: int, h: int, p: int) -> float:
+    """Two ring all-reduces of bsh per layer: ``4(p−1)/p·bsh``."""
+    if p <= 1:
+        return 0.0
+    return 4.0 * (p - 1) / p * b * s * h
+
+
+def megatron_comm_backward(b: int, s: int, h: int, p: int) -> float:
+    """Checkpointed backward: recompute (2 ARs) + input grads (2 ARs)."""
+    if p <= 1:
+        return 0.0
+    return 8.0 * (p - 1) / p * b * s * h
+
+
+def optimus_comm_forward(b: int, s: int, h: int, p: int) -> float:
+    """``log₂(p)/(2√p)·(7bsh + 12h²)`` per device per layer."""
+    if p <= 1:
+        return 0.0
+    return math.log2(p) / (2.0 * math.sqrt(p)) * (7.0 * b * s * h + 12.0 * h * h)
+
+
+def optimus_comm_backward(b: int, s: int, h: int, p: int) -> float:
+    """3× forward: recompute + dA + dW for every SUMMA product (Eqs. 1–3)."""
+    if p <= 1:
+        return 0.0
+    return math.log2(p) / (2.0 * math.sqrt(p)) * (21.0 * b * s * h + 36.0 * h * h)
+
+
+def layer_macs_forward(b: int, s: int, h: int) -> float:
+    """``12bsh² + 2bs²h`` MACs per layer (total across devices)."""
+    return 12.0 * b * s * h * h + 2.0 * b * s * s * h
+
+
+def layer_macs_backward(b: int, s: int, h: int) -> float:
+    """3× forward with activation checkpointing (recompute + two grads)."""
+    return 3.0 * layer_macs_forward(b, s, h)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    scheme: str
+    forward_comm: object
+    backward_comm: object
+    forward_macs: object
+    backward_macs: object
+
+
+TABLE1 = {
+    "megatron": Table1Row(
+        scheme="megatron",
+        forward_comm=megatron_comm_forward,
+        backward_comm=megatron_comm_backward,
+        forward_macs=lambda b, s, h, p: layer_macs_forward(b, s, h) / p,
+        backward_macs=lambda b, s, h, p: layer_macs_backward(b, s, h) / p,
+    ),
+    "optimus": Table1Row(
+        scheme="optimus",
+        forward_comm=optimus_comm_forward,
+        backward_comm=optimus_comm_backward,
+        forward_macs=lambda b, s, h, p: layer_macs_forward(b, s, h) / p,
+        backward_macs=lambda b, s, h, p: layer_macs_backward(b, s, h) / p,
+    ),
+}

@@ -1,0 +1,45 @@
+"""Scaling laws used by the paper's §5 (Amdahl, Gustafson) and the
+efficiency definitions behind Fig. 7."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Strong scaling: speedup = 1 / (a + (1−a)/p) (paper §5)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Weak scaling: speedup = a + (1−a)·p (paper §5)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return serial_fraction + (1.0 - serial_fraction) * p
+
+
+def weak_scaling_efficiency(t_serial_unit: float, t_parallel: float, work_ratio: float, p: int) -> float:
+    """Fig. 7 left: E = (work_ratio · T₁) / (p · T_p).
+
+    ``t_serial_unit`` is the measured (or extrapolated) serial time of the
+    unit problem; ``work_ratio`` is how much larger the scaled problem is
+    than the unit problem (so ``work_ratio·t_serial_unit`` is the
+    theoretical serial time of the scaled problem, the paper's
+    "theoretical time cost for the other problem sizes").
+    """
+    if t_parallel <= 0 or p < 1:
+        raise ValueError("invalid timing inputs")
+    return work_ratio * t_serial_unit / (p * t_parallel)
+
+
+def strong_scaling_efficiency(t_serial: float, t_parallel: float, p: int) -> float:
+    """Fig. 7 right: E = T_serial / (p · T_p)."""
+    if t_parallel <= 0 or p < 1:
+        raise ValueError("invalid timing inputs")
+    return t_serial / (p * t_parallel)

@@ -1,0 +1,88 @@
+"""Pipeline schedules: per-stage ordered (phase, micro-batch) sequences.
+
+A schedule fixes the order in which each *stage* executes its own work; the
+engine then runs ops dependency-driven (an op fires once its producers are
+done), and the simulator's per-device clocks plus blocking point-to-point
+transfers turn that into pipelined timing.  What distinguishes schedules is
+therefore not the bubble — both have idle fraction ``(S−1)/(m+S−1)`` — but
+how many micro-batches' activations are live at once: all m for GPipe, at
+most ``S`` for 1F1B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PipeOp:
+    phase: str  # "fwd" or "bwd"
+    stage: int
+    micro_batch: int
+
+
+Schedule = List[List[PipeOp]]  # one op sequence per stage
+
+
+def gpipe_schedule(num_stages: int, num_micro_batches: int) -> Schedule:
+    """Each stage: all its forwards, then all its backwards."""
+    _validate(num_stages, num_micro_batches)
+    out: Schedule = []
+    for s in range(num_stages):
+        seq = [PipeOp("fwd", s, j) for j in range(num_micro_batches)]
+        seq += [PipeOp("bwd", s, j) for j in range(num_micro_batches)]
+        out.append(seq)
+    return out
+
+
+def one_f_one_b_schedule(num_stages: int, num_micro_batches: int) -> Schedule:
+    """PipeDream-flush: warm-up forwards, 1F1B steady state, cool-down.
+
+    Stage s warms up with ``min(S−s, m)`` forwards, then alternates one
+    backward with one forward until all m micro-batches are done.
+    """
+    _validate(num_stages, num_micro_batches)
+    S, m = num_stages, num_micro_batches
+    out: Schedule = []
+    for s in range(S):
+        warmup = min(S - s, m)
+        seq: List[PipeOp] = [PipeOp("fwd", s, j) for j in range(warmup)]
+        next_fwd = warmup
+        next_bwd = 0
+        while next_bwd < m:
+            seq.append(PipeOp("bwd", s, next_bwd))
+            next_bwd += 1
+            if next_fwd < m:
+                seq.append(PipeOp("fwd", s, next_fwd))
+                next_fwd += 1
+        out.append(seq)
+    return out
+
+
+def max_in_flight(schedule: Schedule, stage: int) -> int:
+    """Peak number of micro-batches whose forward has run on ``stage`` but
+    whose backward has not — the stage's activation-memory multiplier."""
+    live = 0
+    peak = 0
+    for op in schedule[stage]:
+        if op.phase == "fwd":
+            live += 1
+            peak = max(peak, live)
+        else:
+            live -= 1
+    return peak
+
+
+def bubble_fraction(num_stages: int, num_micro_batches: int) -> float:
+    """Idle fraction of an ideal pipeline: (S−1)/(m+S−1) for both schedules."""
+    _validate(num_stages, num_micro_batches)
+    S, m = num_stages, num_micro_batches
+    return (S - 1) / (m + S - 1)
+
+
+def _validate(num_stages: int, num_micro_batches: int) -> None:
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if num_micro_batches < 1:
+        raise ValueError("need at least one micro-batch")

@@ -1,0 +1,148 @@
+"""Serial Mixture-of-Experts MLP — ground truth for the §6 MoE extension.
+
+The paper's conclusion names MoE as the direction "to streamline the
+communication and reduce memory redundancy" for.  We implement a Switch-
+style top-1 routed expert MLP:
+
+* gate: per-token softmax over E experts on ``x·W_g``;
+* routing: each token is processed by its argmax expert only, the output
+  scaled by the selected gate probability (which keeps the gate trainable);
+* load balancing: the standard auxiliary loss ``E · Σₑ fₑ·mₑ`` where fₑ is
+  the fraction of tokens routed to expert e and mₑ the mean gate
+  probability of e — differentiable through mₑ.
+
+Forward and backward are fully analytic; the test suite checks them against
+finite differences, and the 2D version in :mod:`repro.core.moe` against
+this one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.backend import ops
+from repro.reference import functional as F
+
+
+def init_moe_params(
+    hidden_size: int,
+    num_experts: int,
+    ffn_hidden: Optional[int] = None,
+    seed: int = 0,
+    dtype: str = "float64",
+    prefix: str = "moe",
+) -> Dict[str, np.ndarray]:
+    """Global MoE parameters: a gate plus E independent expert MLPs."""
+    rng = np.random.default_rng(seed)
+    h = hidden_size
+    f = ffn_hidden if ffn_hidden is not None else 4 * h
+    params: Dict[str, np.ndarray] = {
+        f"{prefix}.gate.weight": rng.normal(0, h**-0.5, size=(h, num_experts)).astype(dtype)
+    }
+    for e in range(num_experts):
+        params[f"{prefix}.expert{e}.w1"] = rng.normal(0, h**-0.5, size=(h, f)).astype(dtype)
+        params[f"{prefix}.expert{e}.b1"] = np.zeros(f, dtype=dtype)
+        params[f"{prefix}.expert{e}.w2"] = rng.normal(0, f**-0.5, size=(f, h)).astype(dtype)
+        params[f"{prefix}.expert{e}.b2"] = np.zeros(h, dtype=dtype)
+    return params
+
+
+class ReferenceMoE:
+    """Top-1 routed expert MLP on a single device."""
+
+    def __init__(
+        self,
+        params: Dict[str, np.ndarray],
+        num_experts: int,
+        aux_loss_coef: float = 0.01,
+        prefix: str = "moe",
+    ):
+        self.params = params
+        self.E = num_experts
+        self.aux_loss_coef = aux_loss_coef
+        self.prefix = prefix
+        self.grads: Dict[str, np.ndarray] = {}
+        self._saved = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, float]:
+        """x [T, h] → (output [T, h], auxiliary load-balance loss)."""
+        P = self.params
+        T = x.shape[0]
+        glogits = x @ P[f"{self.prefix}.gate.weight"]  # [T, E]
+        gprobs = F.softmax(glogits)
+        sel = np.argmax(np.asarray(gprobs), axis=-1)  # [T]
+        scale = np.asarray(gprobs)[np.arange(T), sel]  # [T]
+
+        out = np.zeros_like(x)
+        pre, act = {}, {}
+        for e in range(self.E):
+            rows = np.nonzero(sel == e)[0]
+            if rows.size == 0:
+                pre[e] = act[e] = None
+                continue
+            xe = x[rows]
+            pe = xe @ P[f"{self.prefix}.expert{e}.w1"] + P[f"{self.prefix}.expert{e}.b1"]
+            ae = F.gelu(pe)
+            out[rows] = ae @ P[f"{self.prefix}.expert{e}.w2"] + P[f"{self.prefix}.expert{e}.b2"]
+            pre[e], act[e] = pe, ae
+
+        y = out * scale[:, None]
+        frac = np.bincount(sel, minlength=self.E) / T  # fₑ
+        mean_prob = np.asarray(gprobs).mean(axis=0)  # mₑ
+        aux = self.aux_loss_coef * self.E * float(frac @ mean_prob)
+        self._saved = (x, gprobs, sel, scale, out, pre, act, frac)
+        return y, aux
+
+    # ------------------------------------------------------------------
+    def backward(self, dy: np.ndarray, d_aux: float = 1.0) -> np.ndarray:
+        """Returns dx; expert/gate grads accumulate into ``self.grads``."""
+        if self._saved is None:
+            raise RuntimeError("MoE backward before forward")
+        P, G = self.params, self.grads
+        x, gprobs, sel, scale, out, pre, act, frac = self._saved
+        T = x.shape[0]
+
+        d_out = dy * scale[:, None]
+        d_scale = (dy * out).sum(axis=-1)  # [T]
+
+        dx = np.zeros_like(x)
+        for e in range(self.E):
+            rows = np.nonzero(sel == e)[0]
+            if rows.size == 0:
+                continue
+            w1 = P[f"{self.prefix}.expert{e}.w1"]
+            w2 = P[f"{self.prefix}.expert{e}.w2"]
+            d_oe = d_out[rows]
+            d_ae = d_oe @ w2.T
+            self._acc(f"{self.prefix}.expert{e}.w2", act[e].T @ d_oe)
+            self._acc(f"{self.prefix}.expert{e}.b2", d_oe.sum(axis=0))
+            d_pe = F.gelu_bwd(pre[e], d_ae)
+            self._acc(f"{self.prefix}.expert{e}.w1", x[rows].T @ d_pe)
+            self._acc(f"{self.prefix}.expert{e}.b1", d_pe.sum(axis=0))
+            dx[rows] += d_pe @ w1.T
+
+        # gate gradient: through the selected probability and the aux loss
+        d_gprobs = np.zeros_like(np.asarray(gprobs))
+        d_gprobs[np.arange(T), sel] += d_scale
+        d_gprobs += d_aux * self.aux_loss_coef * self.E * frac[None, :] / T
+        d_glogits = F.softmax_bwd(gprobs, d_gprobs)
+        self._acc(f"{self.prefix}.gate.weight", x.T @ d_glogits)
+        dx += d_glogits @ P[f"{self.prefix}.gate.weight"].T
+        self._saved = None
+        return dx
+
+    def _acc(self, name: str, g: np.ndarray) -> None:
+        self.grads[name] = self.grads.get(name, 0) + g
+
+    def zero_grads(self) -> None:
+        self.grads = {}
+
+    # ------------------------------------------------------------------
+    def expert_load(self, x: np.ndarray) -> np.ndarray:
+        """Token counts per expert (routing diagnostics)."""
+        glogits = x @ self.params[f"{self.prefix}.gate.weight"]
+        sel = np.argmax(glogits, axis=-1)
+        return np.bincount(sel, minlength=self.E)

@@ -1,0 +1,56 @@
+"""Optional execution tracing for the simulator.
+
+A :class:`Tracer` collects :class:`TraceEvent` records (collectives and
+compute regions with start/end simulated times).  Tracing is off by default;
+tests and the examples use it to inspect timelines and to assert scheduling
+properties (e.g. that concurrent row broadcasts do not serialize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str  # "broadcast", "reduce", "all_reduce", "compute", ...
+    ranks: Tuple[int, ...]
+    t_start: float
+    t_end: float
+    nbytes: float = 0.0
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class Tracer:
+    enabled: bool = False
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        ranks,
+        t_start: float,
+        t_end: float,
+        nbytes: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if self.enabled:
+            self.events.append(
+                TraceEvent(kind, tuple(ranks), t_start, t_end, nbytes, label)
+            )
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def total_time(self, kind: Optional[str] = None) -> float:
+        evs = self.events if kind is None else self.of_kind(kind)
+        return sum(e.duration for e in evs)

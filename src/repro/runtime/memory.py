@@ -1,0 +1,88 @@
+"""Per-device memory accounting.
+
+The paper's memory argument (§3.1.1, Fig. 9) is entirely about *bytes per
+device*: Megatron replicates activations (``O(bsh)`` per device) while
+Optimus fully distributes them (``O(bsh/p)``).  The :class:`MemoryMeter`
+tracks current and peak usage with optional capacity enforcement so the
+Fig. 9 max-batch-size search can detect out-of-memory exactly where a real
+16 GB GPU would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when a strict-capacity allocation exceeds device memory."""
+
+    def __init__(self, rank: int, requested: int, current: int, capacity: int):
+        self.rank = rank
+        self.requested = requested
+        self.current = current
+        self.capacity = capacity
+        super().__init__(
+            f"rank {rank}: OOM allocating {requested} B "
+            f"(in use {current} B of {capacity} B)"
+        )
+
+
+@dataclass
+class MemoryMeter:
+    """Byte counter with peak tracking and optional capacity enforcement."""
+
+    rank: int
+    capacity: Optional[int] = None  # None = unlimited (no OOM checking)
+    strict: bool = False
+    current: int = 0
+    peak: int = 0
+    num_allocs: int = 0  # allocation events — a fragmentation-pressure proxy
+    by_tag: Dict[str, int] = field(default_factory=dict)
+
+    def alloc(self, nbytes: int, tag: str = "untagged") -> int:
+        """Charge an allocation; returns the byte count for convenience."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if self.strict and self.capacity is not None and self.current + nbytes > self.capacity:
+            raise OutOfDeviceMemory(self.rank, nbytes, self.current, self.capacity)
+        self.current += nbytes
+        self.num_allocs += 1
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
+        if self.current > self.peak:
+            self.peak = self.current
+        return nbytes
+
+    def free(self, nbytes: int, tag: str = "untagged") -> None:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("negative free")
+        if nbytes > self.current:
+            raise ValueError(
+                f"rank {self.rank}: freeing {nbytes} B but only {self.current} B in use"
+            )
+        tagged = self.by_tag.get(tag, 0)
+        if nbytes > tagged:
+            raise ValueError(
+                f"rank {self.rank}: freeing {nbytes} B from tag {tag!r} "
+                f"which holds only {tagged} B"
+            )
+        self.current -= nbytes
+        self.by_tag[tag] = tagged - nbytes
+
+    def free_tag(self, tag: str) -> int:
+        """Release everything charged under a tag; returns bytes freed."""
+        n = self.by_tag.get(tag, 0)
+        if n:
+            self.free(n, tag)
+        return n
+
+    def reset_peak(self) -> None:
+        self.peak = self.current
+
+    @property
+    def headroom(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - self.current

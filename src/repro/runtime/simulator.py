@@ -1,0 +1,153 @@
+"""The single-controller SPMD simulator.
+
+One :class:`Simulator` instance models a job: a cluster, a rank→GPU
+arrangement, and one :class:`SimDevice` per rank.  All distributed modules
+(Optimus, Megatron) execute against a simulator; collectives in
+:mod:`repro.comm` use its topology to price communication and its devices to
+advance bulk-synchronous clocks.
+
+Design note — why single-controller: running one OS process per simulated
+rank (mpi4py-style) would give no additional fidelity here, since the
+simulation is deterministic and bulk-synchronous; a single controller that
+loops over ranks keeps the numerics bit-reproducible, makes every rank's
+state inspectable in tests, and is dramatically faster for the q≤8 meshes we
+execute numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.hardware.arrangement import Arrangement, make_arrangement, linear_arrangement
+from repro.hardware.specs import ClusterSpec, frontera_rtx
+from repro.hardware.topology import ClusterTopology
+from repro.runtime.device import SimDevice
+from repro.runtime.events import Tracer
+from repro.runtime.memory import MemoryMeter
+
+
+class Simulator:
+    """A simulated multi-device job."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        num_ranks: Optional[int] = None,
+        arrangement: Optional[Arrangement] = None,
+        strict_memory: bool = False,
+        backend: str = "numpy",
+        trace: bool = False,
+    ):
+        self.cluster = cluster
+        self.num_ranks = num_ranks if num_ranks is not None else cluster.num_devices
+        if self.num_ranks > cluster.num_devices:
+            raise ValueError(
+                f"{self.num_ranks} ranks do not fit on {cluster.num_devices} devices"
+            )
+        self.arrangement = (
+            arrangement
+            if arrangement is not None
+            else linear_arrangement(cluster, self.num_ranks)
+        )
+        if self.arrangement.num_ranks != self.num_ranks:
+            raise ValueError("arrangement rank count does not match simulator")
+        self.topology = ClusterTopology(cluster)
+        self.backend = backend  # "numpy" (real data) or "shape" (dryrun)
+        self.tracer = Tracer(enabled=trace)
+        self.devices: List[SimDevice] = [
+            SimDevice(
+                rank=r,
+                spec=cluster.device,
+                memory=MemoryMeter(
+                    rank=r, capacity=cluster.device.memory_bytes, strict=strict_memory
+                ),
+            )
+            for r in range(self.num_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_mesh(
+        cls,
+        q: int,
+        gpus_per_node: int = 4,
+        arrangement_kind: str = "bunched",
+        **kw,
+    ) -> "Simulator":
+        """Build a simulator sized for a q×q mesh on Frontera-like nodes."""
+        p = q * q
+        num_nodes = -(-p // gpus_per_node)  # ceil
+        cluster = frontera_rtx(num_nodes, gpus_per_node)
+        arr = make_arrangement(cluster, q, arrangement_kind)
+        return cls(cluster, num_ranks=p, arrangement=arr, **kw)
+
+    @classmethod
+    def for_flat(cls, p: int, gpus_per_node: int = 4, **kw) -> "Simulator":
+        """Build a simulator for a flat p-rank (Megatron-style) group."""
+        num_nodes = -(-p // gpus_per_node)
+        cluster = frontera_rtx(num_nodes, gpus_per_node)
+        return cls(cluster, num_ranks=p, arrangement=linear_arrangement(cluster, p), **kw)
+
+    # ------------------------------------------------------------------
+    # device access and clock management
+    # ------------------------------------------------------------------
+    def device(self, rank: int) -> SimDevice:
+        return self.devices[rank]
+
+    @property
+    def ranks(self) -> range:
+        return range(self.num_ranks)
+
+    def sync(self, ranks: Sequence[int]) -> float:
+        """Barrier over a rank set; returns the synchronized time."""
+        t = max(self.devices[r].clock for r in ranks)
+        for r in ranks:
+            self.devices[r].clock = t
+        return t
+
+    def advance(self, ranks: Sequence[int], dt: float) -> None:
+        for r in ranks:
+            self.devices[r].clock += dt
+
+    def elapsed(self) -> float:
+        """Simulated wall-clock of the job so far (slowest rank)."""
+        return max(d.clock for d in self.devices)
+
+    def reset_time(self) -> None:
+        """Zero clocks and compute/comm counters; memory state is kept."""
+        for d in self.devices:
+            d.reset_counters(reset_clock=True)
+        self.tracer.clear()
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    def total_flops(self) -> float:
+        return sum(d.flops for d in self.devices)
+
+    def total_bytes_comm(self) -> float:
+        return sum(d.bytes_comm for d in self.devices)
+
+    def max_weighted_comm_volume(self) -> float:
+        return max(d.weighted_comm_volume for d in self.devices)
+
+    def peak_memory(self) -> int:
+        return max(d.memory.peak for d in self.devices)
+
+    def memory_report(self) -> Dict[int, Dict[str, int]]:
+        return {
+            d.rank: {"current": d.memory.current, "peak": d.memory.peak}
+            for d in self.devices
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "elapsed": self.elapsed(),
+            "total_flops": self.total_flops(),
+            "total_bytes_comm": self.total_bytes_comm(),
+            "peak_memory_bytes": float(self.peak_memory()),
+            "max_compute_time": max(d.compute_time for d in self.devices),
+            "max_comm_time": max(d.comm_time for d in self.devices),
+        }

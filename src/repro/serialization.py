@@ -1,0 +1,76 @@
+"""Checkpoint serialization: gather distributed parameters, save, restore.
+
+The natural checkpoint format for this library is the *global* parameter
+dict (the same representation every model is constructed from), so a saved
+checkpoint can be reloaded into any scheme — serial, Megatron, Optimus, or
+pipeline — at any device count whose divisibility constraints it satisfies.
+
+Uses ``numpy.savez`` (one array per parameter) plus a small JSON metadata
+blob (model config, step counter, user extras).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.core.param import DistModule
+from repro.mesh.partition import assemble_any
+
+_META_KEY = "__repro_meta__"
+
+
+def gather_parameters(model) -> Dict[str, np.ndarray]:
+    """Collect a model's parameters as global numpy arrays.
+
+    Accepts a :class:`~repro.core.param.DistModule` (Optimus / Megatron),
+    a :class:`~repro.pipeline.engine.PipelineModel` or
+    :class:`~repro.reference.model.ReferenceTransformer` (whose params are
+    already global dicts), or a plain name→array dict.
+    """
+    if isinstance(model, DistModule):
+        return {p.name: np.asarray(assemble_any(p.data)) for p in model.parameters()}
+    params = getattr(model, "params", model)
+    if not isinstance(params, dict):
+        raise TypeError(f"cannot gather parameters from {type(model).__name__}")
+    return {k: np.asarray(v) for k, v in params.items()}
+
+
+def save_checkpoint(
+    path,
+    model,
+    config: Optional[ModelConfig] = None,
+    step: int = 0,
+    extra: Optional[dict] = None,
+) -> None:
+    """Write a checkpoint: global parameters + JSON metadata."""
+    params = gather_parameters(model)
+    meta = {"step": int(step), "extra": extra or {}}
+    if config is None:
+        config = getattr(model, "cfg", None)
+    if config is not None:
+        meta["config"] = asdict(config)
+    np.savez(
+        path,
+        **params,
+        **{_META_KEY: np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)},
+    )
+
+
+def load_checkpoint(path) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read a checkpoint back as (global params dict, metadata dict)."""
+    with np.load(path) as data:
+        meta = {}
+        params = {}
+        for key in data.files:
+            if key == _META_KEY:
+                meta = json.loads(bytes(data[key]).decode())
+            else:
+                params[key] = data[key]
+    if "config" in meta:
+        meta["config"] = ModelConfig(**meta["config"])
+    return params, meta

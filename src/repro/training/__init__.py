@@ -1,0 +1,36 @@
+"""Training utilities: optimizers over distributed parameters, synthetic and
+character-level data, LR schedules, and a scheme-agnostic trainer loop."""
+
+from repro.training.amp import DynamicLossScaler, grads_finite, scale_grads
+from repro.training.optim import (
+    SGD,
+    Adam,
+    SerialSGD,
+    SerialAdam,
+    clip_grads,
+    grad_norm,
+    make_immediate_updater,
+)
+from repro.training.data import random_batch, CharCorpus, copy_task_batch, LOREM_TEXT
+from repro.training.schedule import constant_lr, warmup_cosine
+from repro.training.trainer import Trainer
+
+__all__ = [
+    "DynamicLossScaler",
+    "grads_finite",
+    "scale_grads",
+    "SGD",
+    "Adam",
+    "SerialSGD",
+    "SerialAdam",
+    "grad_norm",
+    "clip_grads",
+    "make_immediate_updater",
+    "random_batch",
+    "CharCorpus",
+    "copy_task_batch",
+    "LOREM_TEXT",
+    "constant_lr",
+    "warmup_cosine",
+    "Trainer",
+]

@@ -1,0 +1,248 @@
+"""Optimizers for distributed and serial parameters.
+
+Distributed optimizers update each :class:`DistParam` shard in place on its
+owning device.  Because every layout either owns each scalar exactly once
+(BLOCKED_2D, SHARDED_1D, ROW0_COLS) or replicates both parameter and
+gradient identically (REPLICATED_1D, LN/bias in Megatron), a purely local
+update preserves consistency — no parameter synchronization collective is
+ever needed, exactly as in the paper's design where "a same parameter is
+hosted and updated in a single device" (§3.2.2).
+
+In dryrun mode the arithmetic is skipped (placeholders carry no data) but
+optimizer-state memory is still charged, so the Fig. 9 memory search sees
+momentum/Adam state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.backend import ops
+from repro.backend.shape_array import is_shape_array
+from repro.core.param import DistParam
+
+_UNIQUE_LAYOUTS = {"blocked_2d", "sharded_1d", "row0_cols"}
+
+
+class _DistOptimizerBase:
+    """Shared machinery: state allocation, update dispatch, flop charging."""
+
+    n_state_slots = 0  # extra arrays per parameter (momentum, adam m/v, ...)
+
+    def __init__(self, params: Iterable[DistParam], lr: float, sim=None):
+        self.params: List[DistParam] = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.sim = sim  # optional: charge state memory and update flops
+        self.t = 0
+        self._state: Dict[int, dict] = {}
+        for p in self.params:
+            self._state[id(p)] = self._init_state(p)
+
+    def _init_state(self, p: DistParam) -> dict:
+        state = {
+            "slots": [
+                {r: ops.zeros_like(s) for r, s in p.data.shards.items()}
+                for _ in range(self.n_state_slots)
+            ]
+        }
+        if self.sim is not None and self.n_state_slots:
+            for rank, shard in p.data.shards.items():
+                self.sim.device(rank).memory.alloc(
+                    self.n_state_slots * ops.nbytes(shard), "optimizer_state"
+                )
+        return state
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self, subset: Optional[Iterable[DistParam]] = None) -> None:
+        """Apply one update; ``subset`` supports per-layer immediate updates
+        (the paper's §3.2.3 option 2)."""
+        self.t += 1
+        for p in subset if subset is not None else self.params:
+            if p.grad is None:
+                continue
+            state = self._state[id(p)]
+            for rank, shard in p.data.shards.items():
+                g = p.grad.shards[rank]
+                if self.sim is not None:
+                    self.sim.device(rank).compute(
+                        self._flops_per_element() * shard.size, kind="elementwise"
+                    )
+                if is_shape_array(shard):
+                    continue  # dryrun: accounting only
+                self._update_shard(shard, g, state, rank)
+
+    # subclass hooks -----------------------------------------------------
+    def _update_shard(self, shard, grad, state, rank) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _flops_per_element(self) -> float:  # pragma: no cover
+        return 2.0
+
+
+class SGD(_DistOptimizerBase):
+    """Plain / momentum SGD with optional decoupled weight decay."""
+
+    def __init__(self, params, lr=0.1, momentum=0.0, weight_decay=0.0, sim=None):
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.n_state_slots = 1 if momentum else 0
+        super().__init__(params, lr, sim)
+
+    def _update_shard(self, shard, grad, state, rank) -> None:
+        g = np.asarray(grad)
+        if self.weight_decay:
+            g = g + self.weight_decay * np.asarray(shard)
+        if self.momentum:
+            buf = state["slots"][0][rank]
+            buf *= self.momentum
+            buf += g
+            g = buf
+        shard -= self.lr * g
+
+    def _flops_per_element(self) -> float:
+        return 2.0 + (2.0 if self.momentum else 0.0) + (2.0 if self.weight_decay else 0.0)
+
+
+class Adam(_DistOptimizerBase):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    n_state_slots = 2
+
+    def __init__(
+        self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0, sim=None
+    ):
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        super().__init__(params, lr, sim)
+
+    def _update_shard(self, shard, grad, state, rank) -> None:
+        b1, b2 = self.betas
+        g = np.asarray(grad)
+        if self.weight_decay:
+            g = g + self.weight_decay * np.asarray(shard)
+        m = state["slots"][0][rank]
+        v = state["slots"][1][rank]
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        mhat = m / (1 - b1**self.t)
+        vhat = v / (1 - b2**self.t)
+        shard -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def _flops_per_element(self) -> float:
+        return 12.0
+
+
+def make_immediate_updater(optimizer, buffers=None):
+    """§3.2.3 option 2: update each layer's parameters the moment its
+    backward finishes, then reset the parameter-gradient buffer.
+
+    Pass the returned callable as ``model.backward(on_layer_backward=...)``.
+    The optimizer's later full ``step()`` skips these parameters (their
+    gradients are cleared), so mixing immediate and deferred updates in one
+    iteration is safe.
+    """
+
+    def _update(layer) -> None:
+        params = layer.parameters()
+        optimizer.step(subset=params)
+        for p in params:
+            p.zero_grad()
+        if buffers is not None:
+            buffers.reset_region("param_grad")
+            buffers.trim_region("param_grad")
+
+    return _update
+
+
+# ----------------------------------------------------------------------
+# serial counterparts (for the reference model / equivalence tests)
+# ----------------------------------------------------------------------
+class SerialSGD:
+    def __init__(self, params: Dict[str, np.ndarray], lr=0.1, momentum=0.0, weight_decay=0.0):
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._buf = {k: np.zeros_like(v) for k, v in params.items()} if momentum else None
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        for name, p in self.params.items():
+            if name not in grads:
+                continue
+            g = np.asarray(grads[name])
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            if self.momentum:
+                self._buf[name] = self.momentum * self._buf[name] + g
+                g = self._buf[name]
+            p -= self.lr * g
+
+
+class SerialAdam:
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        self.params = params
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, grads) -> None:
+        self.t += 1
+        b1, b2 = self.betas
+        for name, p in self.params.items():
+            if name not in grads:
+                continue
+            g = np.asarray(grads[name])
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            self._m[name] = b1 * self._m[name] + (1 - b1) * g
+            self._v[name] = b2 * self._v[name] + (1 - b2) * g * g
+            mhat = self._m[name] / (1 - b1**self.t)
+            vhat = self._v[name] / (1 - b2**self.t)
+            p -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+# ----------------------------------------------------------------------
+# gradient utilities
+# ----------------------------------------------------------------------
+def grad_norm(params: Iterable[DistParam]) -> float:
+    """Global L2 norm of all gradients, counting each scalar exactly once."""
+    total = 0.0
+    for p in params:
+        if p.grad is None:
+            continue
+        if p.grad.layout.kind in _UNIQUE_LAYOUTS:
+            shards = p.grad.shards.values()
+        else:  # replicated layouts: any single copy carries the full gradient
+            shards = [next(iter(p.grad.shards.values()))]
+        for s in shards:
+            if is_shape_array(s):
+                return float("nan")
+            total += float(np.sum(np.asarray(s) ** 2))
+    return math.sqrt(total)
+
+
+def clip_grads(params: Iterable[DistParam], max_norm: float) -> float:
+    """Scale all gradients so the global norm is at most ``max_norm``."""
+    params = list(params)
+    norm = grad_norm(params)
+    if norm > max_norm and norm > 0 and not math.isnan(norm):
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad.map(lambda g: g * scale)
+    return norm

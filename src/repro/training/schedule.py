@@ -1,0 +1,28 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+def constant_lr(lr: float) -> Callable[[int], float]:
+    """lr(step) = lr."""
+    return lambda step: lr
+
+
+def warmup_cosine(
+    lr: float, warmup_steps: int, total_steps: int, min_lr: float = 0.0
+) -> Callable[[int], float]:
+    """Linear warmup to ``lr`` then cosine decay to ``min_lr``."""
+    if warmup_steps < 0 or total_steps <= warmup_steps:
+        raise ValueError("need 0 <= warmup_steps < total_steps")
+
+    def fn(step: int) -> float:
+        if step < warmup_steps:
+            return lr * (step + 1) / max(1, warmup_steps)
+        t = (step - warmup_steps) / (total_steps - warmup_steps)
+        t = min(1.0, t)
+        return min_lr + 0.5 * (lr - min_lr) * (1.0 + math.cos(math.pi * t))
+
+    return fn

@@ -1,0 +1,72 @@
+"""A scheme-agnostic training loop.
+
+Works with :class:`~repro.core.model.OptimusModel`,
+:class:`~repro.megatron.model.MegatronModel` or the serial reference (via a
+thin adapter), since all three expose ``forward(ids, labels)`` and
+``backward()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.training.optim import clip_grads
+
+
+@dataclass
+class TrainLog:
+    losses: List[float] = field(default_factory=list)
+    grad_norms: List[float] = field(default_factory=list)
+    lrs: List[float] = field(default_factory=list)
+
+    @property
+    def last_loss(self) -> float:
+        return self.losses[-1]
+
+
+class Trainer:
+    """Forward / backward / clip / step loop over a batch iterator."""
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        batches: Iterator[Tuple[object, object]],
+        lr_schedule: Optional[Callable[[int], float]] = None,
+        max_grad_norm: Optional[float] = None,
+        log_every: int = 0,
+        printer: Callable[[str], None] = print,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.batches = batches
+        self.lr_schedule = lr_schedule
+        self.max_grad_norm = max_grad_norm
+        self.log_every = log_every
+        self.printer = printer
+        self.step = 0
+        self.log = TrainLog()
+
+    def train_steps(self, num_steps: int) -> TrainLog:
+        for _ in range(num_steps):
+            ids, labels = next(self.batches)
+            self.optimizer.zero_grad()
+            loss = self.model.forward(ids, labels)
+            self.model.backward()
+            norm = float("nan")
+            if self.max_grad_norm is not None:
+                norm = clip_grads(self.optimizer.params, self.max_grad_norm)
+            if self.lr_schedule is not None:
+                self.optimizer.lr = self.lr_schedule(self.step)
+            self.optimizer.step()
+            self.step += 1
+            self.log.losses.append(float(loss))
+            self.log.grad_norms.append(norm)
+            self.log.lrs.append(self.optimizer.lr)
+            if self.log_every and self.step % self.log_every == 0:
+                self.printer(
+                    f"step {self.step:5d}  loss {float(loss):.4f}  "
+                    f"lr {self.optimizer.lr:.2e}"
+                )
+        return self.log

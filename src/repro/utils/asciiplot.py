@@ -1,0 +1,83 @@
+"""Terminal line plots for the figure-reproduction harness.
+
+The paper's Fig. 7 and Fig. 9 are line charts; the benchmarks regenerate the
+underlying series and render them as ASCII so the *shape* (trends,
+crossovers) is visible directly in test output without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKERS = "ox+*#@"
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+    logy: bool = False,
+) -> str:
+    """Plot one or more named series against shared x values.
+
+    Points are placed on a character grid; each series gets a marker from
+    ``o x + * # @`` in declaration order.  Returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length {len(ys)} != x {len(x_values)}")
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("log-scale plot requires positive values")
+            return math.log10(v)
+        return float(v)
+
+    all_y = [ty(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    bot_label = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bot_label.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    xticks = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(" " * (label_w + 2) + xticks)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The §3.2.3 buffer manager: regions, managed/unmanaged semantics, ablations."""
+
+import pytest
+
+from repro.core.buffers import REGIONS, BufferManager
+from repro.runtime import Simulator
+
+
+def _mgr(**kw):
+    sim = Simulator.for_flat(p=2)
+    return sim, BufferManager(sim, **kw)
+
+
+class TestManagedMode:
+    def test_arena_grows_to_high_water(self):
+        sim, m = _mgr(managed=True)
+        m.hold("forward", 0, 100)
+        m.hold("forward", 0, 50)
+        assert m.usage("forward", 0) == 150
+        assert m.capacity("forward", 0) == 150
+        m.release("forward", 0, 150)
+        m.hold("forward", 0, 120)  # fits in the retained arena: no new alloc
+        assert m.capacity("forward", 0) == 150
+        assert sim.device(0).memory.current == 150
+
+    def test_alloc_events_minimal(self):
+        sim, m = _mgr(managed=True)
+        for _ in range(10):
+            m.hold("workspace", 0, 64)
+            m.release("workspace", 0, 64)
+        # one growth event only — the paper's anti-fragmentation claim
+        assert sim.device(0).memory.num_allocs == 1
+
+    def test_reset_region_keeps_arena(self):
+        sim, m = _mgr(managed=True)
+        m.hold("forward", 0, 200)
+        m.reset_region("forward")
+        assert m.usage("forward", 0) == 0
+        assert sim.device(0).memory.current == 200
+
+    def test_scratch_context(self):
+        sim, m = _mgr(managed=True)
+        with m.scratch(0, 500):
+            assert m.usage("workspace", 0) == 500
+        assert m.usage("workspace", 0) == 0
+        assert m.capacity("workspace", 0) == 500
+
+
+class TestUnmanagedMode:
+    def test_every_hold_is_an_alloc(self):
+        sim, m = _mgr(managed=False)
+        for _ in range(10):
+            m.hold("workspace", 0, 64)
+            m.release("workspace", 0, 64)
+        assert sim.device(0).memory.num_allocs == 10
+        assert sim.device(0).memory.current == 0
+
+    def test_release_frees_real_memory(self):
+        sim, m = _mgr(managed=False)
+        m.hold("forward", 0, 100)
+        assert sim.device(0).memory.current == 100
+        m.release("forward", 0, 100)
+        assert sim.device(0).memory.current == 0
+
+    def test_reset_region_frees(self):
+        sim, m = _mgr(managed=False)
+        m.hold("backward", 0, 300)
+        m.reset_region("backward")
+        assert sim.device(0).memory.current == 0
+
+
+class TestAblationOptions:
+    def test_merge_fwd_bwd_shares_arena(self):
+        """§3.2.3 option 1: forward and backward share one region."""
+        sim, m = _mgr(managed=True, merge_fwd_bwd=True)
+        m.hold("forward", 0, 100)
+        m.reset_region("forward")
+        m.hold("backward", 0, 80)  # reuses the forward arena
+        assert m.capacity("forward", 0) == 100
+        assert sim.device(0).memory.current == 100  # no separate backward arena
+
+    def test_unmerged_uses_both(self):
+        sim, m = _mgr(managed=True, merge_fwd_bwd=False)
+        m.hold("forward", 0, 100)
+        m.hold("backward", 0, 80)
+        assert sim.device(0).memory.current == 180
+
+    def test_total_capacity(self):
+        _, m = _mgr()
+        m.hold("forward", 0, 10)
+        m.hold("param_grad", 0, 20)
+        assert m.total_capacity(0) == 30
+
+
+class TestValidation:
+    def test_unknown_region(self):
+        _, m = _mgr()
+        with pytest.raises(ValueError):
+            m.hold("nonsense", 0, 1)
+
+    def test_over_release(self):
+        _, m = _mgr()
+        m.hold("forward", 0, 10)
+        with pytest.raises(ValueError):
+            m.release("forward", 0, 20)
+
+    def test_release_all(self):
+        sim, m = _mgr(managed=True)
+        for region in REGIONS:
+            m.hold(region, 0, 10)
+        m.release_all()
+        assert sim.device(0).memory.current == 0
+        assert m.total_capacity(0) == 0

@@ -1,0 +1,165 @@
+"""The Fig. 1 classification branch: reference gradcheck + three-way
+equivalence (serial / Optimus 2D / Megatron 1D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.core import OptimusModel
+from repro.core.cls_head import assemble_row0_blockrows, distribute_row0_blockrows
+from repro.megatron import MegatronModel
+from repro.mesh import assemble_blocked_2d
+from repro.nn import init_transformer_params
+from repro.reference import ReferenceTransformer
+from repro.runtime import Simulator
+from tests.conftest import make_mesh
+
+NUM_CLASSES = 2
+
+
+@pytest.fixture
+def cls_setup(cfg, rng):
+    params = init_transformer_params(cfg, seed=1, num_classes=NUM_CLASSES)
+    b = 6
+    ids = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+    cls_labels = rng.integers(0, NUM_CLASSES, size=b)
+    return params, ids, cls_labels
+
+
+class TestReferenceClassification:
+    def test_forward_loss(self, cfg, cls_setup):
+        params, ids, labels = cls_setup
+        loss = ReferenceTransformer(cfg, params).forward_classification(ids, labels)
+        assert np.isfinite(loss)
+        assert abs(float(loss) - np.log(NUM_CLASSES)) < 1.0  # near-chance at init
+
+    def test_logits_shape(self, cfg, cls_setup):
+        params, ids, _ = cls_setup
+        logits = ReferenceTransformer(cfg, params).forward_classification(ids)
+        assert logits.shape == (ids.shape[0], NUM_CLASSES)
+
+    def test_requires_cls_params(self, cfg, cls_setup, params):
+        _, ids, labels = cls_setup
+        with pytest.raises(KeyError):
+            ReferenceTransformer(cfg, params).forward_classification(ids, labels)
+
+    def test_backward_requires_labels(self, cfg, cls_setup):
+        params, ids, _ = cls_setup
+        m = ReferenceTransformer(cfg, params)
+        m.forward_classification(ids)
+        with pytest.raises(RuntimeError):
+            m.backward_classification()
+
+    @pytest.mark.parametrize(
+        "name",
+        ["cls_head.weight", "cls_head.bias", "final_ln.gamma",
+         "layer0.attn.wqkv", "layer1.mlp.w2", "embedding.table"],
+    )
+    def test_gradients_match_finite_differences(self, cfg, cls_setup, rng, name):
+        params, ids, labels = cls_setup
+        m = ReferenceTransformer(cfg, params)
+        m.forward_classification(ids, labels)
+        grads = m.backward_classification()
+        g = np.asarray(grads[name])
+        x = params[name]
+        eps = 1e-6
+        for _ in range(4):
+            idx = tuple(rng.integers(0, d) for d in x.shape)
+            old = x[idx]
+            x[idx] = old + eps
+            fp = float(ReferenceTransformer(cfg, params).forward_classification(ids, labels))
+            x[idx] = old - eps
+            fm = float(ReferenceTransformer(cfg, params).forward_classification(ids, labels))
+            x[idx] = old
+            num = (fp - fm) / (2 * eps)
+            assert abs(num - g[idx]) < 1e-5 * max(1.0, abs(num)), (name, idx)
+
+
+class TestDistributedClassification:
+    def _grads(self, model):
+        from repro.mesh.layouts import BLOCKED_2D
+        from repro.mesh.partition import assemble_row0_cols, assemble_sharded_1d
+
+        out = {}
+        for p in model.parameters():
+            if p.grad is None:
+                continue
+            lay = p.data.layout
+            if lay == BLOCKED_2D:
+                out[p.name] = assemble_blocked_2d(p.grad)
+            elif lay.kind == "row0_blockrows":
+                out[p.name] = assemble_row0_blockrows(p.grad)
+            elif lay.kind == "rank0":
+                out[p.name] = p.grad.local(0)
+            elif lay.kind == "sharded_1d":
+                out[p.name] = assemble_sharded_1d(p.grad)
+            elif lay.kind == "row0_cols":
+                out[p.name] = assemble_row0_cols(p.grad)
+            else:
+                out[p.name] = p.grad.local(next(iter(p.grad.shards)))
+        return out
+
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_optimus_matches_reference(self, cfg, cls_setup, q):
+        params, ids, labels = cls_setup
+        ref = ReferenceTransformer(cfg, params)
+        ref_loss = float(ref.forward_classification(ids, labels))
+        ref_grads = ref.backward_classification()
+
+        model = OptimusModel(make_mesh(q), cfg, params)
+        loss = model.forward_classification(ids, labels)
+        assert loss == pytest.approx(ref_loss, abs=1e-10)
+        model.backward_classification()
+        grads = self._grads(model)
+        for name, g_ref in ref_grads.items():
+            np.testing.assert_allclose(
+                grads[name], g_ref, rtol=1e-8, atol=1e-11, err_msg=name
+            )
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_megatron_matches_reference(self, cfg, cls_setup, p):
+        params, ids, labels = cls_setup
+        ref = ReferenceTransformer(cfg, params)
+        ref_loss = float(ref.forward_classification(ids, labels))
+        ref_grads = ref.backward_classification()
+
+        model = MegatronModel(Simulator.for_flat(p=p), cfg, params)
+        loss = model.forward_classification(ids, labels)
+        assert loss == pytest.approx(ref_loss, abs=1e-10)
+        model.backward_classification()
+        grads = self._grads(model)
+        for name, g_ref in ref_grads.items():
+            np.testing.assert_allclose(
+                grads[name], g_ref, rtol=1e-8, atol=1e-11, err_msg=name
+            )
+
+    def test_optimus_inference_logits(self, cfg, cls_setup):
+        params, ids, _ = cls_setup
+        ref_logits = ReferenceTransformer(cfg, params).forward_classification(ids)
+        model = OptimusModel(make_mesh(2), cfg, params)
+        logits_dt = model.forward_classification(ids)
+        from repro.mesh.partition import assemble_row_blocked
+
+        np.testing.assert_allclose(
+            assemble_row_blocked(logits_dt), ref_logits, rtol=1e-9
+        )
+
+    def test_missing_head_raises(self, cfg, params, cls_setup):
+        _, ids, labels = cls_setup
+        model = OptimusModel(make_mesh(2), cfg, params)  # no cls params
+        with pytest.raises(RuntimeError):
+            model.forward_classification(ids, labels)
+
+
+class TestRow0BlockrowsLayout:
+    def test_roundtrip(self, rng):
+        mesh = make_mesh(3)
+        w = rng.normal(size=(9, 2))
+        dt = distribute_row0_blockrows(mesh, w)
+        assert set(dt.shards) == {mesh.rank(0, j) for j in range(3)}
+        np.testing.assert_array_equal(assemble_row0_blockrows(dt), w)
+
+    def test_indivisible(self, rng):
+        mesh = make_mesh(2)
+        with pytest.raises(ValueError):
+            distribute_row0_blockrows(mesh, rng.normal(size=(5, 2)))

@@ -1,0 +1,85 @@
+"""CLI entry points and the ASCII plotting utility."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+from repro.utils.asciiplot import line_plot
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        out = line_plot({"a": [1, 2, 3]}, [10, 20, 30], title="T", width=30, height=8)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("o a" in l for l in lines)  # legend
+        assert "10" in out and "30" in out  # x labels
+
+    def test_multi_series_markers(self):
+        out = line_plot({"a": [1, 2], "b": [2, 1]}, [0, 1])
+        assert "o a" in out and "x b" in out
+        assert out.count("o") >= 2
+
+    def test_log_scale(self):
+        out = line_plot({"w": [1, 100, 10000]}, [1, 2, 3], logy=True)
+        assert "1e+04" in out or "10000" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"w": [0, 1]}, [1, 2], logy=True)
+
+    def test_constant_series(self):
+        out = line_plot({"flat": [5, 5, 5]}, [1, 2, 3])
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({}, [1, 2])
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]}, [1, 2])
+
+    def test_extremes_hit_borders(self):
+        out = line_plot({"a": [0, 10]}, [0, 1], width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]  # max value on the top row
+        assert "o" in rows[-1]  # min value on the bottom row
+
+
+class TestCLI:
+    def test_verify_command(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all three implementations agree" in out
+
+    def test_isoefficiency_command(self, capsys):
+        assert main(["isoefficiency"]) == 0
+        assert "Isoefficiency" in capsys.readouterr().out
+
+    def test_report_command(self, capsys, tmp_path):
+        from repro.experiments import report
+
+        (tmp_path / "table2.txt").write_text("TABLE2 CONTENT")
+        text = report.render(report.collect(tmp_path))
+        assert "TABLE2 CONTENT" in text
+        assert "Missing sections" in text  # the others were not generated
+        # empty dir → everything listed missing, header intact
+        empty = report.render(report.collect(tmp_path / "nope"))
+        assert "Reproduction report" in empty
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_all_known_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table1", "table2", "table3", "fig7", "fig8", "fig9",
+            "isoefficiency", "report", "verify",
+        }
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+        assert repro.__version__

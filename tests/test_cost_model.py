@@ -1,0 +1,136 @@
+"""The α–β collective cost model: formulas, hierarchy, monotonicity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.cost import (
+    GroupCommModel,
+    RING_EFFICIENCY_INTER,
+    RING_EFFICIENCY_INTRA,
+    TREE_EFFICIENCY,
+    _log2_stages,
+)
+from repro.hardware import (
+    ClusterTopology,
+    bunched_arrangement,
+    frontera_rtx,
+    linear_arrangement,
+    naive_arrangement,
+)
+
+
+def _model(ranks, num_nodes=4, arrangement=None, siblings=None):
+    cluster = frontera_rtx(num_nodes)
+    topo = ClusterTopology(cluster)
+    arr = arrangement or linear_arrangement(cluster)
+    return GroupCommModel.build(topo, arr, ranks, siblings=siblings)
+
+
+class TestEquationForms:
+    def test_eq4_intra_node_broadcast(self):
+        """log₂(g)·(α + βB/eff) for an intra-node group (Eq. 4)."""
+        m = _model([0, 1, 2, 3], num_nodes=1)
+        B = 1e6
+        link = frontera_rtx(1).intra_link
+        expected = 2 * (link.alpha + link.beta * B / TREE_EFFICIENCY)
+        assert m.broadcast_time(B) == pytest.approx(expected)
+        assert m.reduce_time(B) == m.broadcast_time(B)
+
+    def test_eq5_ring_all_reduce(self):
+        """2(g−1)·(α + βB/(g·eff)) (Eq. 5)."""
+        m = _model([0, 1, 2, 3], num_nodes=1)
+        B = 1e6
+        link = frontera_rtx(1).intra_link
+        expected = 2 * 3 * (link.alpha + link.beta * B / (4 * RING_EFFICIENCY_INTRA))
+        assert m.all_reduce_time(B) == pytest.approx(expected)
+
+    def test_single_rank_is_free(self):
+        m = _model([0], num_nodes=1)
+        assert m.broadcast_time(1e9) == 0.0
+        assert m.all_reduce_time(1e9) == 0.0
+        assert m.all_gather_time(1e9) == 0.0
+
+    def test_hierarchical_tree_stages(self):
+        """Multi-node tree: log₂(nodes) inter stages + log₂(r) intra stages."""
+        cluster = frontera_rtx(2)
+        topo = ClusterTopology(cluster)
+        arr = linear_arrangement(cluster)
+        m = GroupCommModel.build(topo, arr, list(range(8)))
+        B = 1e6
+        expected = _log2_stages(2) * (
+            cluster.inter_link.alpha
+            + cluster.inter_link.beta * m.crowding * B / TREE_EFFICIENCY
+        ) + _log2_stages(4) * (
+            cluster.intra_link.alpha + cluster.intra_link.beta * B / TREE_EFFICIENCY
+        )
+        assert m.broadcast_time(B) == pytest.approx(expected)
+
+    def test_weighted_volumes_are_paper_units(self):
+        m = _model([0, 1, 2, 3], num_nodes=1)
+        assert m.broadcast_weighted_volume(100) == pytest.approx(math.log2(4) * 100)
+        assert m.all_reduce_weighted_volume(100) == pytest.approx(2 * 3 / 4 * 100)
+        assert m.all_gather_weighted_volume(100) == pytest.approx(3 / 4 * 100)
+
+
+class TestContention:
+    def test_crowding_multiplies_inter_bandwidth_term(self):
+        cluster = frontera_rtx(4)
+        topo = ClusterTopology(cluster)
+        arr = naive_arrangement(cluster, 4)
+        cols = [[i * 4 + j for i in range(4)] for j in range(4)]
+        alone = GroupCommModel.build(topo, arr, cols[0])
+        crowded = GroupCommModel.build(topo, arr, cols[0], siblings=cols)
+        assert crowded.crowding == 4
+        assert alone.crowding == 1
+        assert crowded.broadcast_time(1e7) > alone.broadcast_time(1e7)
+
+    def test_bunched_cheaper_than_naive_for_columns(self):
+        cluster = frontera_rtx(4)
+        topo = ClusterTopology(cluster)
+        cols = [[i * 4 + j for i in range(4)] for j in range(4)]
+        mn = GroupCommModel.build(topo, naive_arrangement(cluster, 4), cols[0], siblings=cols)
+        mb = GroupCommModel.build(topo, bunched_arrangement(cluster, 4), cols[0], siblings=cols)
+        assert mb.broadcast_time(1e7) < mn.broadcast_time(1e7)
+        assert mb.all_reduce_time(1e7) < mn.all_reduce_time(1e7)
+
+    def test_intra_group_ignores_crowding(self):
+        cluster = frontera_rtx(4)
+        topo = ClusterTopology(cluster)
+        arr = naive_arrangement(cluster, 4)
+        rows = [[i * 4 + j for j in range(4)] for i in range(4)]
+        m = GroupCommModel.build(topo, arr, rows[0], siblings=rows)
+        assert m.profile.is_intra_node
+        assert m.crowding == 1
+
+
+class TestInterVsIntra:
+    def test_inter_node_costs_more(self):
+        intra = _model([0, 1, 2, 3], num_nodes=2)  # one node
+        inter = _model([0, 4], num_nodes=2)  # two nodes
+        B = 1e7
+        assert inter.broadcast_time(B) > intra.broadcast_time(B) / 2  # sanity
+        assert inter.all_reduce_time(B) / 1 > 0
+        # per-stage inter β with the lower ring efficiency dominates
+        assert RING_EFFICIENCY_INTER < RING_EFFICIENCY_INTRA
+
+
+@given(st.integers(2, 16), st.floats(1.0, 1e9))
+@settings(max_examples=60, deadline=None)
+def test_costs_monotone_in_bytes_property(g, B):
+    m = _model(list(range(min(g, 16))), num_nodes=4)
+    for fn in (m.broadcast_time, m.all_reduce_time, m.all_gather_time):
+        assert fn(2 * B) > fn(B) > 0
+
+
+@given(st.integers(1, 12))
+@settings(max_examples=30, deadline=None)
+def test_log2_stages_property(n):
+    s = _log2_stages(n)
+    assert s >= 0
+    if n > 1:
+        assert s == pytest.approx(math.log2(n))
+    else:
+        assert s == 0.0

@@ -1,0 +1,164 @@
+"""Functional ops: forward values and analytic gradients vs finite diffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.shape_array import ShapeArray
+from repro.nn.gradcheck import check_grad, numerical_grad
+from repro.reference import functional as F
+
+
+class TestGelu:
+    def test_known_values(self):
+        assert F.gelu(np.array(0.0)) == 0.0
+        np.testing.assert_allclose(F.gelu(np.array(100.0)), 100.0)  # identity tail
+        np.testing.assert_allclose(F.gelu(np.array(-100.0)), 0.0, atol=1e-12)
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(3, 5))
+        dy = rng.normal(size=(3, 5))
+
+        def f(x_):
+            return float(np.sum(F.gelu(x_) * dy))
+
+        check_grad(f, x, F.gelu_bwd(x, dy))
+
+    def test_dryrun(self):
+        out = F.gelu(ShapeArray((3, 5)))
+        assert out.shape == (3, 5)
+        assert F.gelu_bwd(ShapeArray((3, 5)), ShapeArray((3, 5))).shape == (3, 5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        y = F.softmax(rng.normal(size=(4, 7)))
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0)
+        assert (y > 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), rtol=1e-12)
+
+    def test_overflow_safe(self):
+        y = F.softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(y).all()
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(2, 6))
+        dy = rng.normal(size=(2, 6))
+
+        def f(x_):
+            return float(np.sum(F.softmax(x_) * dy))
+
+        check_grad(f, x, F.softmax_bwd(F.softmax(x), dy))
+
+    def test_batched(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        np.testing.assert_allclose(F.softmax(x).sum(axis=-1), 1.0)
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        x = rng.normal(size=(6, 8)) * 3 + 5
+        out, x_hat, inv_std = F.layernorm_fwd(x, np.ones(8), np.zeros(8), eps=0.0)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.var(axis=-1), 1.0, rtol=1e-9)
+        np.testing.assert_array_equal(out, x_hat)
+
+    def test_affine(self, rng):
+        x = rng.normal(size=(4, 6))
+        gamma, beta = rng.normal(size=6), rng.normal(size=6)
+        out, x_hat, _ = F.layernorm_fwd(x, gamma, beta)
+        np.testing.assert_allclose(out, x_hat * gamma + beta)
+
+    def test_input_gradient(self, rng):
+        x = rng.normal(size=(3, 6))
+        gamma, beta = rng.normal(size=6), rng.normal(size=6)
+        dy = rng.normal(size=(3, 6))
+        _, x_hat, inv_std = F.layernorm_fwd(x, gamma, beta)
+        dx, _, _ = F.layernorm_bwd(dy, x_hat, inv_std, gamma)
+
+        def f(x_):
+            out, _, _ = F.layernorm_fwd(x_, gamma, beta)
+            return float(np.sum(out * dy))
+
+        check_grad(f, x, dx, rtol=1e-4, atol=1e-6)
+
+    def test_param_gradients(self, rng):
+        x = rng.normal(size=(3, 6))
+        gamma, beta = rng.normal(size=6), rng.normal(size=6)
+        dy = rng.normal(size=(3, 6))
+        _, x_hat, inv_std = F.layernorm_fwd(x, gamma, beta)
+        _, dgamma, dbeta = F.layernorm_bwd(dy, x_hat, inv_std, gamma)
+
+        def fg(g_):
+            out, _, _ = F.layernorm_fwd(x, g_, beta)
+            return float(np.sum(out * dy))
+
+        def fb(b_):
+            out, _, _ = F.layernorm_fwd(x, gamma, b_)
+            return float(np.sum(out * dy))
+
+        check_grad(fg, gamma, dgamma, rtol=1e-4)
+        check_grad(fb, beta, dbeta, rtol=1e-4)
+
+
+class TestCrossEntropy:
+    def test_matches_log_softmax(self, rng):
+        logits = rng.normal(size=(5, 7))
+        labels = rng.integers(0, 7, size=5)
+        loss, probs = F.cross_entropy_fwd(logits, labels)
+        expected = -np.log(F.softmax(logits)[np.arange(5), labels])
+        np.testing.assert_allclose(loss, expected, rtol=1e-12)
+        np.testing.assert_allclose(probs, F.softmax(logits), rtol=1e-12)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((1, 4), -50.0)
+        logits[0, 2] = 50.0
+        loss, _ = F.cross_entropy_fwd(logits, np.array([2]))
+        assert loss[0] < 1e-8
+
+    def test_gradient(self, rng):
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        dloss = rng.normal(size=4)
+        _, probs = F.cross_entropy_fwd(logits, labels)
+        grad = F.cross_entropy_bwd(probs, labels, dloss)
+
+        def f(x_):
+            loss, _ = F.cross_entropy_fwd(x_, labels)
+            return float(np.sum(loss * dloss))
+
+        check_grad(f, logits, grad, rtol=1e-5)
+
+    def test_grad_rows_sum_to_zero(self, rng):
+        """softmax-CE gradient rows sum to zero (probability simplex)."""
+        logits = rng.normal(size=(5, 9))
+        labels = rng.integers(0, 9, size=5)
+        _, probs = F.cross_entropy_fwd(logits, labels)
+        grad = F.cross_entropy_bwd(probs, labels, np.ones(5))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+@given(st.integers(1, 5), st.integers(2, 8), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_softmax_simplex_property(rows, cols, seed):
+    """softmax output is always a probability distribution."""
+    rng = np.random.default_rng(seed)
+    y = F.softmax(rng.normal(size=(rows, cols)) * 10)
+    assert (y >= 0).all()
+    np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+@given(st.integers(2, 6), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_layernorm_scale_invariance_property(h, seed):
+    """LN(a·x) == LN(x) for any positive scale a (with eps → 0)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, h)) + rng.normal(size=(3, 1))
+    g, b = np.ones(h), np.zeros(h)
+    out1, _, _ = F.layernorm_fwd(x, g, b, eps=1e-12)
+    out2, _, _ = F.layernorm_fwd(x * 7.5, g, b, eps=1e-12)
+    np.testing.assert_allclose(out1, out2, rtol=1e-5, atol=1e-7)

@@ -1,0 +1,217 @@
+"""Megatron baseline: layer-level and end-to-end equivalence, checkpointing
+layouts, memory/comm behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.backend.shape_array import ShapeArray
+from repro.comm.group import ProcessGroup
+from repro.config import tiny_config
+from repro.megatron import (
+    ColumnParallelLinear,
+    LayerNorm1D,
+    MegatronModel,
+    MLP1D,
+    RowParallelLinear,
+    SelfAttention1D,
+)
+from repro.mesh.partition import (
+    assemble_sharded_1d,
+    distribute_replicated_1d,
+    distribute_sharded_1d,
+)
+from repro.nn import init_transformer_params
+from repro.reference import ReferenceTransformer, functional as F
+from repro.runtime import Simulator
+
+
+def _group(p):
+    sim = Simulator.for_flat(p=p)
+    return ProcessGroup(sim, range(p), kind="megatron")
+
+
+def _assemble(p):
+    if p.data.layout.kind == "sharded_1d":
+        return assemble_sharded_1d(p.grad)
+    return p.grad.local(next(iter(p.grad.shards)))  # replicated
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+class TestParallelLinears:
+    def test_column_parallel(self, p, rng):
+        g = _group(p)
+        T, fin, fout = 8, 6, 6 * p
+        w, bias = rng.normal(size=(fin, fout)), rng.normal(size=fout)
+        x = rng.normal(size=(T, fin))
+        dy = rng.normal(size=(T, fout))
+
+        lin = ColumnParallelLinear(g, "col", w, bias)
+        y = lin.forward(distribute_replicated_1d(g, x))
+        np.testing.assert_allclose(assemble_sharded_1d(y), x @ w + bias, rtol=1e-12)
+
+        dx = lin.backward(distribute_sharded_1d(g, dy, axis=1))
+        np.testing.assert_allclose(dx.local(0), dy @ w.T, rtol=1e-12)
+        np.testing.assert_allclose(assemble_sharded_1d(lin.weight.grad), x.T @ dy, rtol=1e-12)
+        np.testing.assert_allclose(assemble_sharded_1d(lin.bias.grad), dy.sum(axis=0), rtol=1e-12)
+
+    def test_row_parallel(self, p, rng):
+        g = _group(p)
+        T, fin, fout = 8, 6 * p, 4
+        w, bias = rng.normal(size=(fin, fout)), rng.normal(size=fout)
+        x = rng.normal(size=(T, fin))
+        dy = rng.normal(size=(T, fout))
+
+        lin = RowParallelLinear(g, "row", w, bias)
+        y = lin.forward(distribute_sharded_1d(g, x, axis=1))
+        np.testing.assert_allclose(y.local(0), x @ w + bias, rtol=1e-12)
+
+        dx = lin.backward(distribute_replicated_1d(g, dy))
+        np.testing.assert_allclose(assemble_sharded_1d(dx), dy @ w.T, rtol=1e-12)
+        np.testing.assert_allclose(assemble_sharded_1d(lin.weight.grad), x.T @ dy, rtol=1e-12)
+        # bias is replicated; every copy holds the full gradient
+        np.testing.assert_allclose(lin.bias.grad.local(0), dy.sum(axis=0), rtol=1e-12)
+
+    def test_column_then_row_is_one_matmul_pair(self, p, rng):
+        """The Megatron MLP identity: no reshard between the two linears."""
+        g = _group(p)
+        h = 4
+        w1, w2 = rng.normal(size=(h, 4 * h * p // p * p)), None
+        w1 = rng.normal(size=(h, 4 * p))
+        w2 = rng.normal(size=(4 * p, h))
+        x = rng.normal(size=(6, h))
+        col = ColumnParallelLinear(g, "c", w1)
+        row = RowParallelLinear(g, "r", w2)
+        y = row.forward(col.forward(distribute_replicated_1d(g, x)))
+        np.testing.assert_allclose(y.local(0), x @ w1 @ w2, rtol=1e-12)
+
+
+class TestLayerInputValidation:
+    def test_column_needs_replicated(self, rng):
+        g = _group(2)
+        lin = ColumnParallelLinear(g, "c", rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            lin.forward(distribute_sharded_1d(g, rng.normal(size=(4, 4)), axis=1))
+
+    def test_row_needs_column_sharded(self, rng):
+        g = _group(2)
+        lin = RowParallelLinear(g, "r", rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            lin.forward(distribute_replicated_1d(g, rng.normal(size=(4, 4))))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_layernorm1d_matches_functional(p, rng):
+    g = _group(p)
+    x = rng.normal(size=(6, 8))
+    gamma, beta = rng.normal(size=8), rng.normal(size=8)
+    ln = LayerNorm1D(g, "ln", gamma, beta, eps=1e-5)
+    out = ln.forward(distribute_replicated_1d(g, x))
+    expected, x_hat, inv_std = F.layernorm_fwd(x, gamma, beta, 1e-5)
+    np.testing.assert_allclose(out.local(0), expected, rtol=1e-12)
+    dy = rng.normal(size=(6, 8))
+    dx = ln.backward(distribute_replicated_1d(g, dy))
+    ref_dx, ref_dg, _ = F.layernorm_bwd(dy, x_hat, inv_std, gamma)
+    np.testing.assert_allclose(dx.local(p - 1), ref_dx, rtol=1e-10)
+    np.testing.assert_allclose(ln.gamma.grad.local(0), ref_dg, rtol=1e-10)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "p,ckpt,layout",
+        [(1, True, "distributed"), (2, False, "distributed"),
+         (2, True, "distributed"), (3, True, "replicated"), (6, True, "distributed")],
+    )
+    def test_matches_reference(self, cfg, params, batch, p, ckpt, layout):
+        ids, labels = batch
+        ref = ReferenceTransformer(cfg, params)
+        ref_loss = float(ref.forward(ids, labels))
+        ref_grads = ref.backward()
+
+        sim = Simulator.for_flat(p=p)
+        model = MegatronModel(
+            sim, cfg, params, checkpoint_activations=ckpt, checkpoint_layout=layout
+        )
+        loss = model.forward(ids, labels)
+        assert loss == pytest.approx(ref_loss, abs=1e-10)
+        model.backward()
+        for prm in model.parameters():
+            np.testing.assert_allclose(
+                _assemble(prm), ref_grads[prm.name], rtol=1e-8, atol=1e-11,
+                err_msg=prm.name,
+            )
+
+    def test_uneven_token_checkpointing(self, params, rng):
+        """T = b·s not divisible by p still checkpoints distributed."""
+        cfg = tiny_config(num_layers=2)
+        b = 6  # T = 48, p = 5 → uneven 10/10/10/9/9 slices
+        p = 5
+        # heads 6 % 5 != 0 → use a head-compatible config instead
+        cfg = tiny_config(num_layers=1, num_heads=5, hidden_size=20, vocab_size=50)
+        ids = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+        labels = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+        params = init_transformer_params(cfg, seed=2)
+        ref_loss = float(ReferenceTransformer(cfg, params).forward(ids, labels))
+        sim = Simulator.for_flat(p=p)
+        model = MegatronModel(sim, cfg, params, checkpoint_activations=True)
+        loss = model.forward(ids, labels)
+        model.backward()
+        assert loss == pytest.approx(ref_loss, abs=1e-10)
+
+    def test_ckpt_layout_memory_ordering(self, cfg, params, batch):
+        """distributed checkpoints ≤ replicated checkpoints in peak bytes."""
+        ids, labels = batch
+        peaks = {}
+        for layout in ("distributed", "replicated"):
+            sim = Simulator.for_flat(p=3)
+            model = MegatronModel(sim, cfg, params, checkpoint_layout=layout)
+            model.forward(ids, labels)
+            model.backward()
+            peaks[layout] = sim.peak_memory()
+        assert peaks["distributed"] <= peaks["replicated"]
+
+    def test_comm_is_all_reduce_dominated(self, cfg, params, batch):
+        """Megatron's stem traffic is ring all-reduce (paper §2.2)."""
+        ids, labels = batch
+        sim = Simulator.for_flat(p=2, trace=True)
+        model = MegatronModel(sim, cfg, params, stem_only=False)
+        model.forward(ids, labels)
+        kinds = {e.kind for e in sim.tracer.events}
+        assert "all_reduce" in kinds
+        assert "broadcast" not in kinds  # no SUMMA-style traffic
+
+    def test_bad_checkpoint_layout(self, cfg, params):
+        sim = Simulator.for_flat(p=2)
+        with pytest.raises(ValueError):
+            MegatronModel(sim, cfg, params, checkpoint_layout="weird")
+
+    def test_stem_mode(self, cfg):
+        params = init_transformer_params(cfg, include_embedding=False)
+        sim = Simulator.for_flat(p=2)
+        model = MegatronModel(sim, cfg, params, stem_only=True)
+        out = model.stem_forward(4)
+        assert out.global_shape == (4 * cfg.seq_len, cfg.hidden_size)
+        model.stem_backward()
+        assert sim.elapsed() > 0
+
+    def test_dryrun_numeric_counter_parity(self, cfg):
+        b = 4
+        results = {}
+        for backend in ("numpy", "shape"):
+            sim = Simulator.for_flat(p=2, backend=backend)
+            params = init_transformer_params(cfg, seed=1, backend=backend, dtype="float32")
+            model = MegatronModel(sim, cfg, params)
+            if backend == "numpy":
+                rng = np.random.default_rng(0)
+                ids = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+                labels = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+            else:
+                ids = ShapeArray((b, cfg.seq_len), "int64")
+                labels = ShapeArray((b, cfg.seq_len), "int64")
+            model.forward(ids, labels)
+            model.backward()
+            d = sim.device(0)
+            results[backend] = (
+                d.flops_gemm, d.bytes_comm, d.weighted_comm_volume,
+                d.num_collectives, sim.elapsed(), sim.peak_memory(),
+            )
+        assert results["numpy"] == pytest.approx(results["shape"])

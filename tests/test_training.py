@@ -1,0 +1,212 @@
+"""Training stack: optimizers (distributed vs serial), data, schedules,
+trainer loop, gradient utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.core import OptimusModel
+from repro.mesh import assemble_blocked_2d
+from repro.nn import init_transformer_params
+from repro.reference import ReferenceTransformer
+from repro.training import (
+    Adam,
+    CharCorpus,
+    SGD,
+    SerialAdam,
+    SerialSGD,
+    Trainer,
+    clip_grads,
+    constant_lr,
+    copy_task_batch,
+    grad_norm,
+    random_batch,
+    warmup_cosine,
+)
+from tests.conftest import make_mesh
+
+
+def _make_model(cfg, seed=1, q=2):
+    params = init_transformer_params(cfg, seed=seed)
+    return OptimusModel(make_mesh(q), cfg, params)
+
+
+class TestDistVsSerialOptimizers:
+    @pytest.mark.parametrize(
+        "dist_cls,serial_cls,kw",
+        [
+            (SGD, SerialSGD, dict(lr=0.1)),
+            (SGD, SerialSGD, dict(lr=0.1, momentum=0.9)),
+            (SGD, SerialSGD, dict(lr=0.1, weight_decay=0.01)),
+            (Adam, SerialAdam, dict(lr=1e-2)),
+            (Adam, SerialAdam, dict(lr=1e-2, weight_decay=0.01)),
+        ],
+    )
+    def test_identical_updates(self, cfg, batch, dist_cls, serial_cls, kw):
+        ids, labels = batch
+        params_ref = init_transformer_params(cfg, seed=1)
+        ref = ReferenceTransformer(cfg, params_ref)
+        sopt = serial_cls(params_ref, **kw)
+
+        params_d = init_transformer_params(cfg, seed=1)
+        model = OptimusModel(make_mesh(2), cfg, params_d)
+        dopt = dist_cls(model.parameters(), **kw)
+
+        for _ in range(3):
+            _, grads = ref.loss_and_grads(ids, labels)
+            sopt.step(grads)
+            dopt.zero_grad()
+            model.forward(ids, labels)
+            model.backward()
+            dopt.step()
+
+        w_d = assemble_blocked_2d(model.named_parameters()["layer0.mlp.w1"].data)
+        np.testing.assert_allclose(w_d, params_ref["layer0.mlp.w1"], rtol=1e-9)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grads(self, cfg):
+        model = _make_model(cfg)
+        opt = SGD(model.parameters(), lr=0.1)
+        opt.step()  # no grads anywhere: must be a no-op, not a crash
+
+    def test_state_memory_charged(self, cfg):
+        model = _make_model(cfg)
+        sim = model.mesh.sim
+        before = sim.device(0).memory.current
+        Adam(model.parameters(), lr=1e-3, sim=sim)
+        state_bytes = sim.device(0).memory.by_tag.get("optimizer_state", 0)
+        assert state_bytes > 0
+        assert sim.device(0).memory.current == before + state_bytes
+
+
+class TestGradUtilities:
+    def test_grad_norm_matches_serial(self, cfg, batch):
+        ids, labels = batch
+        params_ref = init_transformer_params(cfg, seed=1)
+        ref = ReferenceTransformer(cfg, params_ref)
+        _, grads = ref.loss_and_grads(ids, labels)
+        expected = math.sqrt(sum(float(np.sum(np.asarray(g) ** 2)) for g in grads.values()))
+
+        model = _make_model(cfg)
+        model.forward(ids, labels)
+        model.backward()
+        assert grad_norm(model.parameters()) == pytest.approx(expected, rel=1e-9)
+
+    def test_clip_grads(self, cfg, batch):
+        ids, labels = batch
+        model = _make_model(cfg)
+        model.forward(ids, labels)
+        model.backward()
+        norm0 = grad_norm(model.parameters())
+        clip_grads(model.parameters(), norm0 / 2)
+        assert grad_norm(model.parameters()) == pytest.approx(norm0 / 2, rel=1e-9)
+
+    def test_clip_noop_when_below(self, cfg, batch):
+        ids, labels = batch
+        model = _make_model(cfg)
+        model.forward(ids, labels)
+        model.backward()
+        norm0 = grad_norm(model.parameters())
+        returned = clip_grads(model.parameters(), norm0 * 10)
+        assert returned == pytest.approx(norm0)
+        assert grad_norm(model.parameters()) == pytest.approx(norm0)
+
+
+class TestData:
+    def test_random_batch_shapes_and_range(self, cfg):
+        ids, labels = random_batch(cfg, 5, seed=1)
+        assert ids.shape == labels.shape == (5, cfg.seq_len)
+        assert ids.min() >= 0 and ids.max() < cfg.vocab_size
+
+    def test_copy_task(self, cfg):
+        ids, labels = copy_task_batch(cfg, 4)
+        np.testing.assert_array_equal(ids, labels)
+
+    def test_char_corpus_roundtrip(self):
+        corpus = CharCorpus("hello world hello", vocab_size=12)
+        assert corpus.decode(corpus.encode("hello")) == "hello"
+
+    def test_char_corpus_batches_are_shifted(self):
+        corpus = CharCorpus()
+        ids, labels = corpus.batch(3, 10, seed=0)
+        np.testing.assert_array_equal(ids[:, 1:], labels[:, :-1])
+
+    def test_char_corpus_vocab_too_small(self):
+        with pytest.raises(ValueError):
+            CharCorpus("abcdefghij", vocab_size=3)
+
+    def test_batches_iterator_varies(self):
+        corpus = CharCorpus()
+        it = corpus.batches(2, 8, seed=0)
+        a, _ = next(it)
+        b, _ = next(it)
+        assert not np.array_equal(a, b)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert constant_lr(0.3)(100) == 0.3
+
+    def test_warmup_cosine_shape(self):
+        fn = warmup_cosine(1.0, warmup_steps=10, total_steps=100, min_lr=0.1)
+        assert fn(0) == pytest.approx(0.1)
+        assert fn(9) == pytest.approx(1.0)
+        assert fn(10) == pytest.approx(1.0)
+        assert fn(1000) == pytest.approx(0.1)
+        # monotone decay after warmup
+        vals = [fn(s) for s in range(10, 100)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_warmup_cosine_validation(self):
+        with pytest.raises(ValueError):
+            warmup_cosine(1.0, warmup_steps=10, total_steps=5)
+
+
+class TestTrainer:
+    def test_loss_decreases_on_copy_task(self):
+        cfg = tiny_config(num_layers=1)
+        model = _make_model(cfg, q=2)
+        opt = SGD(model.parameters(), lr=0.3)
+
+        def batches():
+            k = 0
+            while True:
+                yield copy_task_batch(cfg, 4, seed=k)
+                k += 1
+
+        trainer = Trainer(model, opt, batches())
+        log = trainer.train_steps(12)
+        assert log.losses[-1] < log.losses[0] * 0.9
+
+    def test_lr_schedule_and_clipping_applied(self, cfg):
+        model = _make_model(cfg)
+        opt = SGD(model.parameters(), lr=1.0)
+
+        def batches():
+            while True:
+                yield random_batch(cfg, 4, seed=0)
+
+        trainer = Trainer(
+            model, opt, batches(),
+            lr_schedule=constant_lr(0.123), max_grad_norm=0.5,
+        )
+        log = trainer.train_steps(2)
+        assert opt.lr == 0.123
+        assert log.lrs == [0.123, 0.123]
+        assert all(np.isfinite(n) for n in log.grad_norms)
+
+    def test_logging(self, cfg, capsys):
+        model = _make_model(cfg)
+        opt = SGD(model.parameters(), lr=0.1)
+
+        def batches():
+            while True:
+                yield random_batch(cfg, 4, seed=0)
+
+        Trainer(model, opt, batches(), log_every=1).train_steps(1)
+        assert "step" in capsys.readouterr().out
