@@ -8,7 +8,7 @@ surpasses Megatron at 64 GPUs.
 
 import pytest
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_result, split_metrics
 from repro.experiments import table3
 
 
@@ -25,10 +25,18 @@ def test_benchmark_table3(benchmark, rows):
     benchmark.pedantic(table3.run, rounds=1, iterations=1)
     by = _by(rows)
     ratio = by[("optimus", 64)].throughput / by[("megatron", 64)].throughput
+    split = split_metrics([r.result for r in rows])
     save_result(
         "table3",
         table3.render(rows)
-        + f"\nOptimus/Megatron throughput at p=64: {ratio:.2f}x (paper: 1.11x)",
+        + f"\nOptimus/Megatron throughput at p=64: {ratio:.2f}x (paper: 1.11x)\n"
+        + "\n".join(
+            f"  {m['scheme']:>8} p={m['num_devices']:<3} "
+            f"compute {m['compute_time']:.3f}s  comm {m['comm_time']:.3f}s "
+            f"({m['comm_fraction']:.1%} comm)"
+            for m in split
+        ),
+        metrics={"rows": split},
     )
 
 

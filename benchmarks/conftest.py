@@ -3,13 +3,43 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Mapping, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_result(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def save_result(name: str, text: str, metrics: Optional[Mapping] = None) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    When ``metrics`` is given it is additionally written as
+    ``results/{name}.json`` so downstream tooling (CI trend lines, the
+    profile reports) can consume the numbers without re-parsing tables.
+    """
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def split_metrics(results: Sequence) -> list:
+    """Comm/compute split rows for a sequence of StemResult objects."""
+    return [
+        {
+            "scheme": r.scheme,
+            "num_devices": r.num_devices,
+            "batch_size": r.batch_size,
+            "forward_time": r.forward_time,
+            "backward_time": r.backward_time,
+            "compute_time": r.compute_time,
+            "comm_time": r.comm_time,
+            "comm_fraction": r.comm_fraction,
+            "throughput": r.throughput,
+            "peak_memory_bytes": r.peak_memory_bytes,
+        }
+        for r in results
+    ]

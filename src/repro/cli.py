@@ -6,9 +6,13 @@ Usage::
     python -m repro fig9              # memory limits (Figure 9)
     python -m repro all               # every table and figure
     python -m repro verify            # quick numerical equivalence check
+    python -m repro profile table1 --trace-out trace.json --mem-timeline
 
 Each experiment command prints the same rows/series the paper reports, side
-by side with the paper's measured values.
+by side with the paper's measured values.  ``profile`` runs a small traced
+instance of an experiment workload and emits span/communication/memory
+reports plus a Perfetto-loadable ``trace.json`` (see docs/simulator.md,
+"Profiling and tracing").
 """
 
 from __future__ import annotations
@@ -135,12 +139,44 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Reproduce the Optimus paper's tables and figures.",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which artifact to regenerate",
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name in sorted(COMMANDS) + ["all"]:
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    from repro.obs.profile import EXPERIMENTS  # cheap: no heavy imports at top level
+
+    prof = sub.add_parser(
+        "profile",
+        help="run a traced experiment workload and report spans/comm/memory",
     )
+    prof.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    prof.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto/Chrome trace_event JSON file",
+    )
+    prof.add_argument(
+        "--mem-timeline", action="store_true",
+        help="sample a per-allocation memory timeline on every rank",
+    )
+    prof.add_argument(
+        "--scheme", choices=("optimus", "megatron"), default="optimus",
+        help="which parallelism scheme to profile (default: optimus)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=12, help="rows in the top-span report"
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        from repro.obs.profile import main as profile_main
+
+        return profile_main(
+            args.experiment,
+            trace_out=args.trace_out,
+            mem_timeline=args.mem_timeline,
+            scheme=args.scheme,
+            top=args.top,
+        )
     if args.command == "all":
         for name in ("table1", "table2", "table3", "fig7", "fig8", "fig9", "isoefficiency"):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

@@ -49,7 +49,13 @@ def _charge(group: ProcessGroup, kind: str, dt: float, nbytes: float, weighted: 
     sim.advance(group.ranks, dt)
     for r in group.ranks:
         sim.device(r).charge_comm(dt, nbytes, weighted)
-    sim.tracer.record(kind, group.ranks, t0, t0 + dt, nbytes=nbytes, label=group.kind)
+    # guard before touching the tracer: when tracing is off the hot SUMMA
+    # loop must not pay for argument construction
+    if sim.tracer.enabled:
+        sim.tracer.record(
+            kind, group.ranks, t0, t0 + dt,
+            nbytes=nbytes, label=group.kind, weighted=weighted,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -217,7 +223,8 @@ def send_recv(sim, src: int, dst: int, x, send_time: float = None):
     receiver.clock = max(receiver.clock, arrival)
     sender.charge_comm(0.0, nbytes, nbytes)  # copy engine; compute not stalled
     receiver.charge_comm(dt, nbytes, nbytes)
-    sim.tracer.record("p2p", (src, dst), t0, arrival, nbytes=nbytes)
+    if sim.tracer.enabled:
+        sim.tracer.record("p2p", (src, dst), t0, arrival, nbytes=nbytes, weighted=nbytes)
     return _copy(x)
 
 

@@ -102,6 +102,10 @@ class BufferManager:
             if st.usage > st.capacity:
                 mem.alloc(st.usage - st.capacity, self._tag(region))
                 st.capacity = st.usage
+                # arena growths are rare — publish the new high-water mark
+                self.sim.metrics.gauge(
+                    "buffer_capacity_bytes", region=region, rank=rank
+                ).set(st.capacity)
         else:
             mem.alloc(nbytes, self._tag(region))
         return nbytes

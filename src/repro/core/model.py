@@ -31,6 +31,7 @@ from repro.core.param import DistModule
 from repro.mesh.dtensor import DTensor
 from repro.mesh.mesh import Mesh
 from repro.mesh.partition import distribute_row_blocked
+from repro.runtime.events import NULL_SPAN
 
 
 class OptimusModel(DistModule):
@@ -138,13 +139,16 @@ class OptimusModel(DistModule):
         self._batch_size = b
         ids_dt = self.distribute_tokens(ids)
 
+        tr = self.mesh.sim.tracer
         x = self.embedding.forward(ids_dt)
         self._ckpt_inputs = []
         for layer in self.layers:
             if self.checkpoint:
                 self._hold_checkpoint(x)
                 self._ckpt_inputs.append(x)
-            x = layer.forward(x, b)
+            with tr.span("layer", self.mesh.ranks, "layer", index=layer.index,
+                         phase="forward") if tr.enabled else NULL_SPAN:
+                x = layer.forward(x, b)
             if self.checkpoint:
                 layer.drop_caches()
                 self.buffers.reset_region("forward")
@@ -176,13 +180,16 @@ class OptimusModel(DistModule):
             # option 3: re-size the forward buffer for the leaner recompute
             self.buffers.reset_region("forward")
             self.buffers.trim_region("forward")
+        tr = self.mesh.sim.tracer
         for layer in reversed(self.layers):
-            if self.checkpoint:
-                x_in = self._ckpt_inputs.pop()
-                self.buffers.in_recompute = True
-                layer.forward(x_in, b)  # recompute (paper's 3× backward cost)
-                self.buffers.in_recompute = False
-            dx = self._to_conjunction(layer.backward(dx))
+            with tr.span("layer", self.mesh.ranks, "layer", index=layer.index,
+                         phase="backward") if tr.enabled else NULL_SPAN:
+                if self.checkpoint:
+                    x_in = self._ckpt_inputs.pop()
+                    self.buffers.in_recompute = True
+                    layer.forward(x_in, b)  # recompute (paper's 3× backward cost)
+                    self.buffers.in_recompute = False
+                dx = self._to_conjunction(layer.backward(dx))
             if on_layer_backward is not None:
                 on_layer_backward(layer)
             if self.checkpoint:
@@ -278,13 +285,16 @@ class OptimusModel(DistModule):
         """Run only the N transformer layers (Tables 2–3 workload)."""
         self.cfg.validate_for_optimus(self.mesh.q, batch_size, include_vocab=False)
         self._batch_size = batch_size
+        tr = self.mesh.sim.tracer
         x = self._synthetic_activation(batch_size)
         self._ckpt_inputs = []
         for layer in self.layers:
             if self.checkpoint:
                 self._hold_checkpoint(x)
                 self._ckpt_inputs.append(x)
-            x = layer.forward(x, batch_size)
+            with tr.span("layer", self.mesh.ranks, "layer", index=layer.index,
+                         phase="forward") if tr.enabled else NULL_SPAN:
+                x = layer.forward(x, batch_size)
             if self.checkpoint:
                 layer.drop_caches()
                 self.buffers.reset_region("forward")
@@ -296,17 +306,20 @@ class OptimusModel(DistModule):
         if self._stem_out is None:
             raise RuntimeError("stem_backward before stem_forward")
         b = self._batch_size
+        tr = self.mesh.sim.tracer
         dx = self._stem_out.map(ops.zeros_like)
         if self.checkpoint and self.buffers.skip_matmul_outputs:
             self.buffers.reset_region("forward")
             self.buffers.trim_region("forward")
         for layer in reversed(self.layers):
-            if self.checkpoint:
-                x_in = self._ckpt_inputs.pop()
-                self.buffers.in_recompute = True
-                layer.forward(x_in, b)
-                self.buffers.in_recompute = False
-            dx = self._to_conjunction(layer.backward(dx))
+            with tr.span("layer", self.mesh.ranks, "layer", index=layer.index,
+                         phase="backward") if tr.enabled else NULL_SPAN:
+                if self.checkpoint:
+                    x_in = self._ckpt_inputs.pop()
+                    self.buffers.in_recompute = True
+                    layer.forward(x_in, b)
+                    self.buffers.in_recompute = False
+                dx = self._to_conjunction(layer.backward(dx))
             if self.checkpoint:
                 self.buffers.reset_region("forward")
                 self.buffers.reset_region("backward")

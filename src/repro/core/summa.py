@@ -33,6 +33,7 @@ from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import BLOCKED_2D
 from repro.mesh.mesh import Mesh
 from repro.comm import collectives as coll
+from repro.runtime.events import NULL_SPAN
 
 
 def _check_blocked(x: DTensor, name: str) -> None:
@@ -65,26 +66,30 @@ def summa_ab(
     if K != K2:
         raise ValueError(f"inner dims mismatch: A {a.global_shape} · B {b.global_shape}")
     q = mesh.q
+    tr = mesh.sim.tracer
+    traced = tr.enabled
     c_shards = {rank: None for rank in mesh.ranks}
-    for l in range(q):
-        # broadcast A_{il} within each row i (root = device (i, l))
-        a_recv = {}
-        for i in range(q):
-            root = mesh.rank(i, l)
-            out = coll.broadcast(mesh.row_group(i), a.local(root), root)
-            a_recv.update(out)
-        # broadcast B_{lj} within each column j (root = device (l, j))
-        b_recv = {}
-        for j in range(q):
-            root = mesh.rank(l, j)
-            out = coll.broadcast(mesh.col_group(j), b.local(root), root)
-            b_recv.update(out)
-        for rank in mesh.ranks:
-            ablk, bblk = a_recv[rank], b_recv[rank]
-            with _scratch(buffers, rank, ops.nbytes(ablk) + ops.nbytes(bblk)):
-                prod = ablk @ bblk
-                mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[1]))
-                c_shards[rank] = prod if c_shards[rank] is None else c_shards[rank] + prod
+    with tr.span("summa_ab", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
+        for l in range(q):
+            with tr.span("summa_step", mesh.ranks, "summa", algo="ab", step=l) if traced else NULL_SPAN:
+                # broadcast A_{il} within each row i (root = device (i, l))
+                a_recv = {}
+                for i in range(q):
+                    root = mesh.rank(i, l)
+                    out = coll.broadcast(mesh.row_group(i), a.local(root), root)
+                    a_recv.update(out)
+                # broadcast B_{lj} within each column j (root = device (l, j))
+                b_recv = {}
+                for j in range(q):
+                    root = mesh.rank(l, j)
+                    out = coll.broadcast(mesh.col_group(j), b.local(root), root)
+                    b_recv.update(out)
+                for rank in mesh.ranks:
+                    ablk, bblk = a_recv[rank], b_recv[rank]
+                    with _scratch(buffers, rank, ops.nbytes(ablk) + ops.nbytes(bblk)):
+                        prod = ablk @ bblk
+                        mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[1]))
+                        c_shards[rank] = prod if c_shards[rank] is None else c_shards[rank] + prod
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 
@@ -102,26 +107,30 @@ def summa_abt(
     if K != K2:
         raise ValueError(f"inner dims mismatch: A {a.global_shape} · Bᵀ of {b.global_shape}")
     q = mesh.q
+    tr = mesh.sim.tracer
+    traced = tr.enabled
     c_shards = {}
-    for l in range(q):
-        # broadcast B_{lj} within each column j (root = device (l, j))
-        b_recv = {}
-        for j in range(q):
-            root = mesh.rank(l, j)
-            out = coll.broadcast(mesh.col_group(j), b.local(root), root)
-            b_recv.update(out)
-        # every device forms A_{ij}·(B_{lj})ᵀ then rows reduce to column l
-        for i in range(q):
-            partials = {}
-            for j in range(q):
-                rank = mesh.rank(i, j)
-                ablk, bblk = a.local(rank), b_recv[rank]
-                with _scratch(buffers, rank, ops.nbytes(bblk)):
-                    partials[rank] = ablk @ ops.transpose(bblk)
-                    mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[0]))
-            root = mesh.rank(i, l)
-            reduced = coll.reduce(mesh.row_group(i), partials, root)
-            c_shards[root] = reduced[root]
+    with tr.span("summa_abt", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
+        for l in range(q):
+            with tr.span("summa_step", mesh.ranks, "summa", algo="abt", step=l) if traced else NULL_SPAN:
+                # broadcast B_{lj} within each column j (root = device (l, j))
+                b_recv = {}
+                for j in range(q):
+                    root = mesh.rank(l, j)
+                    out = coll.broadcast(mesh.col_group(j), b.local(root), root)
+                    b_recv.update(out)
+                # every device forms A_{ij}·(B_{lj})ᵀ then rows reduce to column l
+                for i in range(q):
+                    partials = {}
+                    for j in range(q):
+                        rank = mesh.rank(i, j)
+                        ablk, bblk = a.local(rank), b_recv[rank]
+                        with _scratch(buffers, rank, ops.nbytes(bblk)):
+                            partials[rank] = ablk @ ops.transpose(bblk)
+                            mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[0]))
+                    root = mesh.rank(i, l)
+                    reduced = coll.reduce(mesh.row_group(i), partials, root)
+                    c_shards[root] = reduced[root]
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 
@@ -139,26 +148,30 @@ def summa_atb(
     if K != K2:
         raise ValueError(f"inner dims mismatch: Aᵀ of {a.global_shape} · B {b.global_shape}")
     q = mesh.q
+    tr = mesh.sim.tracer
+    traced = tr.enabled
     c_shards = {}
-    for l in range(q):
-        # broadcast A_{il} within each row i (root = device (i, l))
-        a_recv = {}
-        for i in range(q):
-            root = mesh.rank(i, l)
-            out = coll.broadcast(mesh.row_group(i), a.local(root), root)
-            a_recv.update(out)
-        # every device forms (A_{il})ᵀ·B_{ij} then columns reduce to row l
-        for j in range(q):
-            partials = {}
-            for i in range(q):
-                rank = mesh.rank(i, j)
-                ablk, bblk = a_recv[rank], b.local(rank)
-                with _scratch(buffers, rank, ops.nbytes(ablk)):
-                    partials[rank] = ops.transpose(ablk) @ bblk
-                    mesh.device(rank).compute(_gemm_flops((ablk.shape[1], ablk.shape[0]), bblk.shape[1]))
-            root = mesh.rank(l, j)
-            reduced = coll.reduce(mesh.col_group(j), partials, root)
-            c_shards[root] = reduced[root]
+    with tr.span("summa_atb", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
+        for l in range(q):
+            with tr.span("summa_step", mesh.ranks, "summa", algo="atb", step=l) if traced else NULL_SPAN:
+                # broadcast A_{il} within each row i (root = device (i, l))
+                a_recv = {}
+                for i in range(q):
+                    root = mesh.rank(i, l)
+                    out = coll.broadcast(mesh.row_group(i), a.local(root), root)
+                    a_recv.update(out)
+                # every device forms (A_{il})ᵀ·B_{ij} then columns reduce to row l
+                for j in range(q):
+                    partials = {}
+                    for i in range(q):
+                        rank = mesh.rank(i, j)
+                        ablk, bblk = a_recv[rank], b.local(rank)
+                        with _scratch(buffers, rank, ops.nbytes(ablk)):
+                            partials[rank] = ops.transpose(ablk) @ bblk
+                            mesh.device(rank).compute(_gemm_flops((ablk.shape[1], ablk.shape[0]), bblk.shape[1]))
+                    root = mesh.rank(l, j)
+                    reduced = coll.reduce(mesh.col_group(j), partials, root)
+                    c_shards[root] = reduced[root]
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 

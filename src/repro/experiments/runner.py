@@ -31,6 +31,8 @@ class StemResult:
     forward_time: float
     backward_time: float
     peak_memory_bytes: float
+    compute_time: float = 0.0
+    comm_time: float = 0.0
 
     @property
     def forward_per_seq(self) -> float:
@@ -49,6 +51,12 @@ class StemResult:
     def inference(self) -> float:
         """Sequences/s of the forward pass only (paper's definition)."""
         return self.batch_size / self.forward_time
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the busiest device's time spent in communication."""
+        busy = self.compute_time + self.comm_time
+        return self.comm_time / busy if busy else 0.0
 
 
 def _stem_params(cfg: ModelConfig, dtype: str = "float32"):
@@ -91,6 +99,8 @@ def run_optimus_stem(
         forward_time=fwd,
         backward_time=total - fwd,
         peak_memory_bytes=sim.peak_memory(),
+        compute_time=max(d.compute_time for d in sim.devices),
+        comm_time=max(d.comm_time for d in sim.devices),
     )
 
 
@@ -128,4 +138,6 @@ def run_megatron_stem(
         forward_time=fwd,
         backward_time=total - fwd,
         peak_memory_bytes=sim.peak_memory(),
+        compute_time=max(d.compute_time for d in sim.devices),
+        comm_time=max(d.comm_time for d in sim.devices),
     )

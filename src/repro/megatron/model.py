@@ -38,6 +38,7 @@ from repro.megatron.loss import VocabParallelCrossEntropy
 from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import REPLICATED_1D
 from repro.mesh.partition import distribute_replicated_1d
+from repro.runtime.events import NULL_SPAN
 from repro.runtime.simulator import Simulator
 
 
@@ -137,12 +138,15 @@ class MegatronModel(DistModule):
         self._batch_size = b
         ids_dt = distribute_replicated_1d(self.group, ids)
 
+        tr = self.sim.tracer
         x = self.embedding.forward(ids_dt)
         self._ckpt_inputs = []
         for layer in self.layers:
             if self.checkpoint:
                 self._ckpt_inputs.append(self._store_checkpoint(x))
-            x = layer.forward(x, b)
+            with tr.span("layer", self.group.ranks, "layer", index=layer.index,
+                         phase="forward") if tr.enabled else NULL_SPAN:
+                x = layer.forward(x, b)
             if self.checkpoint:
                 layer.drop_caches()
                 self.buffers.reset_region("forward")
@@ -158,14 +162,17 @@ class MegatronModel(DistModule):
         if self._batch_size is None:
             raise RuntimeError("backward before forward")
         b = self._batch_size
+        tr = self.sim.tracer
         dlogits = self.loss_fn.backward()
         dx = self.lm_head.backward(dlogits)
         dx = self.final_ln.backward(dx)
         for layer in reversed(self.layers):
-            if self.checkpoint:
-                x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
-                layer.forward(x_in, b)
-            dx = layer.backward(dx)
+            with tr.span("layer", self.group.ranks, "layer", index=layer.index,
+                         phase="backward") if tr.enabled else NULL_SPAN:
+                if self.checkpoint:
+                    x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
+                    layer.forward(x_in, b)
+                dx = layer.backward(dx)
             if self.checkpoint:
                 self.buffers.reset_region("forward")
                 self.buffers.reset_region("backward")
@@ -251,12 +258,15 @@ class MegatronModel(DistModule):
         """Run only the N transformer layers (Tables 2–3 workload)."""
         self.cfg.validate_for_megatron(self.group.size, batch_size, include_vocab=False)
         self._batch_size = batch_size
+        tr = self.sim.tracer
         x = self._synthetic_activation(batch_size)
         self._ckpt_inputs = []
         for layer in self.layers:
             if self.checkpoint:
                 self._ckpt_inputs.append(self._store_checkpoint(x))
-            x = layer.forward(x, batch_size)
+            with tr.span("layer", self.group.ranks, "layer", index=layer.index,
+                         phase="forward") if tr.enabled else NULL_SPAN:
+                x = layer.forward(x, batch_size)
             if self.checkpoint:
                 layer.drop_caches()
                 self.buffers.reset_region("forward")
@@ -267,12 +277,15 @@ class MegatronModel(DistModule):
         if self._stem_out is None:
             raise RuntimeError("stem_backward before stem_forward")
         b = self._batch_size
+        tr = self.sim.tracer
         dx = self._stem_out.map(ops.zeros_like)
         for layer in reversed(self.layers):
-            if self.checkpoint:
-                x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
-                layer.forward(x_in, b)
-            dx = layer.backward(dx)
+            with tr.span("layer", self.group.ranks, "layer", index=layer.index,
+                         phase="backward") if tr.enabled else NULL_SPAN:
+                if self.checkpoint:
+                    x_in = self._restore_checkpoint(self._ckpt_inputs.pop())
+                    layer.forward(x_in, b)
+                dx = layer.backward(dx)
             if self.checkpoint:
                 self.buffers.reset_region("forward")
                 self.buffers.reset_region("backward")

@@ -1,0 +1,33 @@
+"""Observability: metrics registry, trace exporters, profiling reports.
+
+The simulator produces raw signal — flat :class:`~repro.runtime.events.TraceEvent`
+records, hierarchical :class:`~repro.runtime.events.Span` regions, per-rank
+memory timelines, device counters.  This package turns that signal into the
+artifacts performance work is judged against:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with labels;
+* :mod:`repro.obs.perfetto` — Chrome/Perfetto ``trace_event`` JSON export
+  (one track per rank, flow arrows for point-to-point transfers);
+* :mod:`repro.obs.comm_matrix` — rank→rank traffic matrices (raw and
+  β-weighted) whose totals reconcile with the device byte counters;
+* :mod:`repro.obs.report` — plain-text top-k span and memory reports;
+* :mod:`repro.obs.profile` — the ``python -m repro profile`` driver.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.comm_matrix import comm_matrix, render_comm_matrix
+from repro.obs.perfetto import chrome_trace, write_chrome_trace
+from repro.obs.report import memory_report, top_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "comm_matrix",
+    "render_comm_matrix",
+    "top_spans",
+    "memory_report",
+]

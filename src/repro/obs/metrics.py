@@ -1,0 +1,171 @@
+"""A small labeled-metrics registry (counters, gauges, histograms).
+
+Deliberately prometheus-shaped but in-process: the simulator, trainer and
+experiment harness publish into a :class:`MetricsRegistry`; tests and the
+``repro profile`` CLI read snapshots back out.  A metric instance is keyed
+by ``(name, sorted(labels))``, so ``reg.counter("steps", scheme="optimus")``
+returns the same :class:`Counter` every call.
+
+This module must stay import-free of the rest of :mod:`repro` — the
+:class:`~repro.runtime.simulator.Simulator` owns a registry, so anything
+this file imported from the package would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (e.g. a buffer high-water mark)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus retained samples."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "samples", "max_samples")
+
+    def __init__(self, name: str, labels: dict, max_samples: int = 4096):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples (p in [0, 100])."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+def _key(name: str, labels: dict) -> LabelKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Get-or-create store for labeled metrics."""
+
+    def __init__(self):
+        self._metrics: Dict[LabelKey, object] = {}
+
+    def _get(self, cls, name: str, labels: dict):
+        key = _key(name, labels)
+        m = self._metrics.get(key)
+        if m is None:
+            m = cls(name, labels)
+            self._metrics[key] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r}{labels} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[object]:
+        return iter(self._metrics.values())
+
+    def find(self, name: str) -> List[object]:
+        """All metric instances (any label set) registered under ``name``."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable dump of every metric."""
+        out: Dict[str, object] = {}
+        for (name, labels), m in sorted(self._metrics.items(), key=lambda kv: kv[0]):
+            label_str = ",".join(f"{k}={v}" for k, v in labels)
+            full = f"{name}{{{label_str}}}" if label_str else name
+            if isinstance(m, Histogram):
+                out[full] = {
+                    "count": m.count,
+                    "sum": m.total,
+                    "mean": m.mean,
+                    "min": m.min if m.count else 0.0,
+                    "max": m.max if m.count else 0.0,
+                    "p50": m.percentile(50),
+                    "p99": m.percentile(99),
+                }
+            else:
+                out[full] = m.value
+        return out
+
+    def render(self, title: str = "Metrics") -> str:
+        from repro.utils.tables import format_table
+
+        rows = []
+        for full, value in self.snapshot().items():
+            if isinstance(value, dict):
+                rows.append(
+                    [full, "histogram",
+                     f"n={value['count']} mean={value['mean']:.4g} "
+                     f"p50={value['p50']:.4g} max={value['max']:.4g}"]
+                )
+            else:
+                rows.append([full, "value", f"{value:.6g}"])
+        return format_table(["metric", "type", "value"], rows, title=title)

@@ -1,0 +1,161 @@
+"""Chrome/Perfetto ``trace_event`` JSON export of a simulator run.
+
+The emitted dict loads directly in https://ui.perfetto.dev or
+``chrome://tracing``.  Layout:
+
+* one *process* per rank (``pid = rank``) named ``rank N (gpu G)``;
+* ``tid 0`` ("timeline") carries hierarchical spans, compute slices and
+  collective slices — nesting falls out of timestamp containment;
+* ``tid 1`` ("copy engine") carries point-to-point transfer slices, with
+  flow arrows (``ph: s``/``f``) from sender to receiver;
+* counter events (``ph: C``) carry each rank's memory timeline when
+  per-allocation sampling is enabled.
+
+Timestamps are simulated seconds converted to microseconds, as the trace
+format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+_US = 1e6  # seconds → trace_event microseconds
+
+
+def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
+    """Build a ``trace_event`` dict from the simulator's tracer state."""
+    events: List[dict] = []
+    for d in sim.devices:
+        gpu = sim.arrangement.gpu_of(d.rank)
+        node = sim.arrangement.node_of(d.rank)
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": d.rank, "tid": 0,
+             "args": {"name": f"rank {d.rank} (node {node}, gpu {gpu})"}}
+        )
+        for tid, tname in ((0, "timeline"), (1, "copy engine")):
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": d.rank, "tid": tid,
+                 "args": {"name": tname}}
+            )
+
+    # hierarchical spans — already one record per participating rank
+    for s in sim.tracer.spans:
+        args = dict(s.attrs)
+        args["sid"] = s.sid
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.category,
+                "pid": s.rank,
+                "tid": 0,
+                "ts": s.t_start * _US,
+                "dur": s.duration * _US,
+                "args": args,
+            }
+        )
+
+    # flat events: compute, collectives, point-to-point
+    flow_id = 0
+    for e in sim.tracer.events:
+        if e.kind == "compute":
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"compute:{e.label}" if e.label else "compute",
+                    "cat": "compute",
+                    "pid": e.ranks[0],
+                    "tid": 0,
+                    "ts": e.t_start * _US,
+                    "dur": e.duration * _US,
+                    "args": dict(e.attrs or {}),
+                }
+            )
+        elif e.kind == "p2p":
+            src, dst = e.ranks
+            flow_id += 1
+            args = {"nbytes": e.nbytes, "src": src, "dst": dst}
+            for pid, name in ((src, f"p2p→{dst}"), (dst, f"p2p←{src}")):
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": name,
+                        "cat": "p2p",
+                        "pid": pid,
+                        "tid": 1,
+                        "ts": e.t_start * _US,
+                        "dur": e.duration * _US,
+                        "args": args,
+                    }
+                )
+            events.append(
+                {"ph": "s", "id": flow_id, "name": "p2p", "cat": "p2p",
+                 "pid": src, "tid": 1, "ts": e.t_start * _US}
+            )
+            events.append(
+                {"ph": "f", "bp": "e", "id": flow_id, "name": "p2p", "cat": "p2p",
+                 "pid": dst, "tid": 1, "ts": e.t_end * _US}
+            )
+        else:  # grouped collective — one slice per participant
+            args = {
+                "nbytes": e.nbytes,
+                "weighted": e.weighted,
+                "group": e.label,
+                "ranks": list(e.ranks),
+            }
+            for pid in e.ranks:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": e.kind,
+                        "cat": "collective",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": e.t_start * _US,
+                        "dur": e.duration * _US,
+                        "args": args,
+                    }
+                )
+
+    if include_memory:
+        for rank, samples in sim.memory_timeline().items():
+            for s in samples:
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": "memory",
+                        "pid": rank,
+                        "tid": 0,
+                        "ts": s.t * _US,
+                        "args": {"total": s.total},
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": f"memory:{s.tag}",
+                        "pid": rank,
+                        "tid": 0,
+                        "ts": s.t * _US,
+                        "args": {"bytes": s.tag_bytes},
+                    }
+                )
+
+    # stable ordering: metadata first, then by (pid, tid, ts, -dur) so
+    # enclosing slices precede their children at equal timestamps
+    def sort_key(ev):
+        is_meta = 0 if ev["ph"] == "M" else 1
+        return (is_meta, ev.get("pid", 0), ev.get("tid", 0),
+                ev.get("ts", 0.0), -ev.get("dur", 0.0))
+
+    events.sort(key=sort_key)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(sim, path: str, include_memory: bool = True) -> Dict[str, object]:
+    """Serialize :func:`chrome_trace` to ``path``; returns the trace dict."""
+    trace = chrome_trace(sim, include_memory=include_memory)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return trace

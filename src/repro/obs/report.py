@@ -1,0 +1,108 @@
+"""Plain-text profiling reports: top-k spans, memory, collective traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    name: str
+    category: str
+    count: int  # distinct span instances (a multi-rank span counts once)
+    rank_seconds: float  # summed duration across every rank record
+    mean_duration: float  # mean per-rank duration
+    max_duration: float
+
+
+def aggregate_spans(tracer, category: Optional[str] = None) -> List[SpanAggregate]:
+    """Aggregate span records by (name, category), sorted by rank-seconds."""
+    groups: Dict[Tuple[str, str], List] = {}
+    for s in tracer.spans:
+        if category is not None and s.category != category:
+            continue
+        groups.setdefault((s.name, s.category), []).append(s)
+    out = []
+    for (name, cat), spans in groups.items():
+        sids = {s.sid for s in spans}
+        durations = [s.duration for s in spans]
+        out.append(
+            SpanAggregate(
+                name=name,
+                category=cat,
+                count=len(sids),
+                rank_seconds=sum(durations),
+                mean_duration=sum(durations) / len(durations),
+                max_duration=max(durations),
+            )
+        )
+    out.sort(key=lambda a: a.rank_seconds, reverse=True)
+    return out
+
+
+def top_spans(tracer, k: int = 10, category: Optional[str] = None) -> str:
+    """Top-k span table by total rank-seconds."""
+    from repro.utils.tables import format_table
+
+    aggs = aggregate_spans(tracer, category)[:k]
+    rows = [
+        [a.name, a.category, a.count,
+         f"{a.rank_seconds:.4f}", f"{a.mean_duration:.5f}", f"{a.max_duration:.5f}"]
+        for a in aggs
+    ]
+    return format_table(
+        ["span", "category", "count", "rank-seconds", "mean (s)", "max (s)"],
+        rows,
+        title=f"Top {len(rows)} spans by total time",
+    )
+
+
+def memory_report(sim, max_tags: int = 12) -> str:
+    """Per-tag peak holdings and the high-water mark of each rank."""
+    from repro.utils.tables import format_bytes, format_table
+
+    # peak-per-tag needs the timeline; fall back to current by_tag otherwise
+    peaks: Dict[int, Dict[str, int]] = {}
+    for d in sim.devices:
+        per_tag: Dict[str, int] = {}
+        if d.memory.timeline:
+            for s in d.memory.timeline:
+                per_tag[s.tag] = max(per_tag.get(s.tag, 0), s.tag_bytes)
+        else:
+            per_tag = dict(d.memory.by_tag)
+        peaks[d.rank] = per_tag
+
+    all_tags = sorted({t for per in peaks.values() for t in per})[:max_tags]
+    rows = []
+    for d in sim.devices:
+        per = peaks[d.rank]
+        rows.append(
+            [d.rank, format_bytes(d.memory.peak)]
+            + [format_bytes(per.get(t, 0)) if per.get(t, 0) else "·" for t in all_tags]
+        )
+    source = "timeline peaks" if any(d.memory.timeline for d in sim.devices) else "current holdings"
+    return format_table(
+        ["rank", "peak"] + all_tags,
+        rows,
+        title=f"Memory by tag ({source})",
+    )
+
+
+def collective_report(sim) -> str:
+    """Traffic table by collective kind (from runtime.analysis stats)."""
+    from repro.runtime.analysis import collective_stats
+    from repro.utils.tables import format_bytes, format_table
+
+    stats = collective_stats(sim.tracer)
+    rows = [
+        [s.kind, s.count, format_bytes(s.total_bytes),
+         format_bytes(s.total_bytes_charged), f"{s.total_time:.4f}",
+         f"{s.total_weighted:.3e}"]
+        for s in sorted(stats.values(), key=lambda s: s.total_time, reverse=True)
+    ]
+    return format_table(
+        ["kind", "count", "payload", "charged", "time (s)", "β-weighted"],
+        rows,
+        title="Collective traffic by kind",
+    )

@@ -11,16 +11,19 @@ hold real numpy data, in dryrun mode they hold ShapeArray placeholders — the
 accounting is identical because it is driven by shapes, not data.
 """
 
-from repro.runtime.memory import MemoryMeter, OutOfDeviceMemory
+from repro.runtime.memory import MemoryMeter, MemSample, OutOfDeviceMemory
 from repro.runtime.device import SimDevice
 from repro.runtime.simulator import Simulator
-from repro.runtime.events import TraceEvent, Tracer
+from repro.runtime.events import NULL_SPAN, Span, TraceEvent, Tracer
 
 __all__ = [
     "MemoryMeter",
+    "MemSample",
     "OutOfDeviceMemory",
     "SimDevice",
     "Simulator",
+    "NULL_SPAN",
+    "Span",
     "TraceEvent",
     "Tracer",
 ]

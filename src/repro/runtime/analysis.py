@@ -75,14 +75,26 @@ def comm_fraction(sim: Simulator) -> float:
 class CollectiveStats:
     kind: str
     count: int
-    total_bytes: float
+    total_bytes: float  # payload bytes, counted once per event
     total_time: float
+    total_weighted: float = 0.0  # β-weighted volume charged per participant
+    total_bytes_charged: float = 0.0  # bytes as the device counters saw them
 
 
 def collective_stats(tracer: Tracer) -> Dict[str, CollectiveStats]:
-    """Aggregate traced events by collective kind (requires trace=True)."""
+    """Aggregate traced communication events by kind (requires trace=True).
+
+    Covers grouped collectives *and* point-to-point transfers; compute
+    events are excluded.  ``total_bytes_charged`` multiplies each payload by
+    its participant count (both endpoints for p2p), which is exactly what
+    the per-device ``bytes_comm`` counters accumulate — so
+    ``sum(s.total_bytes_charged) == sim.total_bytes_comm()`` for a fully
+    traced run.
+    """
     agg: Dict[str, List] = {}
     for e in tracer.events:
+        if e.kind == "compute":
+            continue
         agg.setdefault(e.kind, []).append(e)
     return {
         kind: CollectiveStats(
@@ -90,9 +102,81 @@ def collective_stats(tracer: Tracer) -> Dict[str, CollectiveStats]:
             count=len(evs),
             total_bytes=sum(e.nbytes for e in evs),
             total_time=sum(e.duration for e in evs),
+            total_weighted=sum(e.weighted * len(e.ranks) for e in evs),
+            total_bytes_charged=sum(e.nbytes * len(e.ranks) for e in evs),
         )
         for kind, evs in agg.items()
     }
+
+
+@dataclass(frozen=True)
+class RankActivity:
+    """Busy/idle split of one rank derived purely from trace records."""
+
+    rank: int
+    busy_time: float
+    idle_time: float
+    total_time: float
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_time / self.total_time if self.total_time else 0.0
+
+
+def _union_length(intervals: List) -> float:
+    """Total length of a union of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for s, e in intervals[1:]:
+        if s > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = s, e
+        else:
+            cur_end = max(cur_end, e)
+    return total + (cur_end - cur_start)
+
+
+def rank_activity(
+    tracer: Tracer, num_ranks: int, elapsed: Optional[float] = None
+) -> List[RankActivity]:
+    """Per-rank busy/idle fractions from trace events alone.
+
+    Busy intervals are compute slices, collective participation, and the
+    *receiving* side of point-to-point transfers (the sender's copy engine
+    does not stall its compute stream).  Overlaps are unioned, so a rank is
+    never more than 100% busy.  Unlike :func:`device_breakdowns`, this needs
+    only a tracer — e.g. one loaded back from an exported trace.
+    """
+    per_rank: Dict[int, List] = {r: [] for r in range(num_ranks)}
+    for e in tracer.events:
+        if e.duration <= 0:
+            continue
+        if e.kind == "compute":
+            targets = (e.ranks[0],)
+        elif e.kind == "p2p":
+            targets = (e.ranks[1],)
+        else:
+            targets = e.ranks
+        for r in targets:
+            per_rank[r].append((e.t_start, e.t_end))
+    horizon = elapsed
+    if horizon is None:
+        horizon = max((e.t_end for e in tracer.events), default=0.0)
+    out = []
+    for r in range(num_ranks):
+        busy = _union_length(per_rank[r])
+        out.append(
+            RankActivity(
+                rank=r,
+                busy_time=busy,
+                idle_time=max(0.0, horizon - busy),
+                total_time=horizon,
+            )
+        )
+    return out
 
 
 def load_imbalance(sim: Simulator) -> float:

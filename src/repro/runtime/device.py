@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hardware.specs import DeviceSpec
+from repro.runtime.events import Tracer
 from repro.runtime.memory import MemoryMeter
 
 
@@ -35,6 +36,7 @@ class SimDevice:
     compute_time: float = 0.0
     comm_time: float = 0.0
     num_collectives: int = 0
+    tracer: Optional[Tracer] = None  # wired by the Simulator
 
     def compute(self, flops: float, kind: str = "gemm") -> float:
         """Charge a local computation; returns the simulated duration.
@@ -51,7 +53,14 @@ class SimDevice:
         if kind == "gemm":
             self.flops_gemm += flops
         self.compute_time += dt
+        t0 = self.clock
         self.clock += dt
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.record(
+                "compute", (self.rank,), t0, self.clock,
+                label=kind, attrs={"flops": flops},
+            )
         return dt
 
     def charge_comm(self, dt: float, nbytes: float, weighted_volume: float) -> None:

@@ -11,7 +11,16 @@ Fig. 9 max-batch-size search can detect out-of-memory exactly where a real
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+
+class MemSample(NamedTuple):
+    """One point of a per-rank allocation timeline (simulated time)."""
+
+    t: float
+    tag: str
+    tag_bytes: int  # bytes held under ``tag`` after the operation
+    total: int  # total bytes in use on the rank after the operation
 
 
 class OutOfDeviceMemory(RuntimeError):
@@ -39,6 +48,25 @@ class MemoryMeter:
     peak: int = 0
     num_allocs: int = 0  # allocation events — a fragmentation-pressure proxy
     by_tag: Dict[str, int] = field(default_factory=dict)
+    #: simulated-clock source (wired by the Simulator to the owning device)
+    clock_fn: Optional[Callable[[], float]] = None
+    #: per-allocation timeline; ``None`` (the default) disables sampling
+    timeline: Optional[List[MemSample]] = None
+
+    def enable_timeline(self) -> None:
+        """Start recording a (time, tag, bytes) sample per alloc/free."""
+        if self.timeline is None:
+            self.timeline = []
+
+    def _sample(self, tag: str) -> None:
+        self.timeline.append(
+            MemSample(
+                t=self.clock_fn() if self.clock_fn is not None else 0.0,
+                tag=tag,
+                tag_bytes=self.by_tag.get(tag, 0),
+                total=self.current,
+            )
+        )
 
     def alloc(self, nbytes: int, tag: str = "untagged") -> int:
         """Charge an allocation; returns the byte count for convenience."""
@@ -52,6 +80,8 @@ class MemoryMeter:
         self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
         if self.current > self.peak:
             self.peak = self.current
+        if self.timeline is not None:
+            self._sample(tag)
         return nbytes
 
     def free(self, nbytes: int, tag: str = "untagged") -> None:
@@ -70,6 +100,8 @@ class MemoryMeter:
             )
         self.current -= nbytes
         self.by_tag[tag] = tagged - nbytes
+        if self.timeline is not None:
+            self._sample(tag)
 
     def free_tag(self, tag: str) -> int:
         """Release everything charged under a tag; returns bytes freed."""

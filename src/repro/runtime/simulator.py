@@ -21,9 +21,10 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.hardware.arrangement import Arrangement, make_arrangement, linear_arrangement
 from repro.hardware.specs import ClusterSpec, frontera_rtx
 from repro.hardware.topology import ClusterTopology
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.device import SimDevice
 from repro.runtime.events import Tracer
-from repro.runtime.memory import MemoryMeter
+from repro.runtime.memory import MemoryMeter, MemSample
 
 
 class Simulator:
@@ -54,6 +55,7 @@ class Simulator:
         self.topology = ClusterTopology(cluster)
         self.backend = backend  # "numpy" (real data) or "shape" (dryrun)
         self.tracer = Tracer(enabled=trace)
+        self.metrics = MetricsRegistry()
         self.devices: List[SimDevice] = [
             SimDevice(
                 rank=r,
@@ -61,9 +63,13 @@ class Simulator:
                 memory=MemoryMeter(
                     rank=r, capacity=cluster.device.memory_bytes, strict=strict_memory
                 ),
+                tracer=self.tracer,
             )
             for r in range(self.num_ranks)
         ]
+        self.tracer.clock_of = lambda r: self.devices[r].clock
+        for d in self.devices:
+            d.memory.clock_fn = (lambda dev=d: dev.clock)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -115,11 +121,35 @@ class Simulator:
         """Simulated wall-clock of the job so far (slowest rank)."""
         return max(d.clock for d in self.devices)
 
-    def reset_time(self) -> None:
-        """Zero clocks and compute/comm counters; memory state is kept."""
+    def reset_time(self, keep_trace: bool = False) -> None:
+        """Zero clocks and compute/comm counters; memory state is kept.
+
+        ``keep_trace=True`` preserves accumulated trace events and spans —
+        useful when an experiment times phases separately but wants one
+        continuous timeline exported at the end.
+        """
         for d in self.devices:
             d.reset_counters(reset_clock=True)
-        self.tracer.clear()
+        if not keep_trace:
+            self.tracer.clear()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_memory_timeline(self) -> None:
+        """Start per-allocation (time, tag, bytes) sampling on every rank."""
+        for d in self.devices:
+            d.memory.enable_timeline()
+
+    def memory_timeline(self) -> Dict[int, List[MemSample]]:
+        """Per-rank allocation timelines (empty lists when sampling is off)."""
+        return {d.rank: list(d.memory.timeline or []) for d in self.devices}
+
+    def comm_matrix(self, weighted: bool = False):
+        """Rank→rank traffic matrix from the trace (requires ``trace=True``)."""
+        from repro.obs.comm_matrix import comm_matrix
+
+        return comm_matrix(self, weighted=weighted)
 
     # ------------------------------------------------------------------
     # aggregate statistics

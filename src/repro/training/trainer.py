@@ -4,6 +4,12 @@ Works with :class:`~repro.core.model.OptimusModel`,
 :class:`~repro.megatron.model.MegatronModel` or the serial reference (via a
 thin adapter), since all three expose ``forward(ids, labels)`` and
 ``backward()``.
+
+When the model runs on a simulator, each step is wrapped in a ``step`` span
+(so traces show ``step > layer > op > collective`` nesting) and per-step
+metrics — loss, simulated step time, the step's compute/comm split — are
+published into a :class:`~repro.obs.metrics.MetricsRegistry` (the
+simulator's own registry by default).
 """
 
 from __future__ import annotations
@@ -11,7 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.events import NULL_SPAN
 from repro.training.optim import clip_grads
+
+
+def _find_sim(model):
+    """The simulator behind a model, if any (serial reference has none)."""
+    sim = getattr(model, "sim", None)
+    if sim is not None:
+        return sim
+    mesh = getattr(model, "mesh", None)
+    return getattr(mesh, "sim", None)
 
 
 @dataclass
@@ -19,6 +36,8 @@ class TrainLog:
     losses: List[float] = field(default_factory=list)
     grad_norms: List[float] = field(default_factory=list)
     lrs: List[float] = field(default_factory=list)
+    step_times: List[float] = field(default_factory=list)  # simulated seconds
+    comm_fractions: List[float] = field(default_factory=list)
 
     @property
     def last_loss(self) -> float:
@@ -37,6 +56,7 @@ class Trainer:
         max_grad_norm: Optional[float] = None,
         log_every: int = 0,
         printer: Callable[[str], None] = print,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -47,26 +67,61 @@ class Trainer:
         self.printer = printer
         self.step = 0
         self.log = TrainLog()
+        self.sim = _find_sim(model)
+        if metrics is not None:
+            self.metrics = metrics
+        elif self.sim is not None:
+            self.metrics = self.sim.metrics
+        else:
+            self.metrics = MetricsRegistry()
+
+    def _one_step(self) -> float:
+        ids, labels = next(self.batches)
+        self.optimizer.zero_grad()
+        loss = self.model.forward(ids, labels)
+        self.model.backward()
+        norm = float("nan")
+        if self.max_grad_norm is not None:
+            norm = clip_grads(self.optimizer.params, self.max_grad_norm)
+        if self.lr_schedule is not None:
+            self.optimizer.lr = self.lr_schedule(self.step)
+        self.optimizer.step()
+        self.log.grad_norms.append(norm)
+        return float(loss)
 
     def train_steps(self, num_steps: int) -> TrainLog:
+        sim = self.sim
         for _ in range(num_steps):
-            ids, labels = next(self.batches)
-            self.optimizer.zero_grad()
-            loss = self.model.forward(ids, labels)
-            self.model.backward()
-            norm = float("nan")
-            if self.max_grad_norm is not None:
-                norm = clip_grads(self.optimizer.params, self.max_grad_norm)
-            if self.lr_schedule is not None:
-                self.optimizer.lr = self.lr_schedule(self.step)
-            self.optimizer.step()
+            if sim is not None:
+                tr = sim.tracer
+                t0 = sim.elapsed()
+                compute0 = max(d.compute_time for d in sim.devices)
+                comm0 = max(d.comm_time for d in sim.devices)
+                with tr.span("step", sim.ranks, "step",
+                             step=self.step) if tr.enabled else NULL_SPAN:
+                    loss = self._one_step()
+                step_time = sim.elapsed() - t0
+                compute_dt = max(d.compute_time for d in sim.devices) - compute0
+                comm_dt = max(d.comm_time for d in sim.devices) - comm0
+                busy = compute_dt + comm_dt
+                comm_frac = comm_dt / busy if busy else 0.0
+            else:
+                loss = self._one_step()
+                step_time = float("nan")
+                comm_frac = float("nan")
             self.step += 1
-            self.log.losses.append(float(loss))
-            self.log.grad_norms.append(norm)
+            self.log.losses.append(loss)
             self.log.lrs.append(self.optimizer.lr)
+            self.log.step_times.append(step_time)
+            self.log.comm_fractions.append(comm_frac)
+            self.metrics.counter("train/steps").inc()
+            self.metrics.histogram("train/loss").observe(loss)
+            if sim is not None:
+                self.metrics.histogram("train/step_time").observe(step_time)
+                self.metrics.gauge("train/comm_fraction").set(comm_frac)
             if self.log_every and self.step % self.log_every == 0:
                 self.printer(
-                    f"step {self.step:5d}  loss {float(loss):.4f}  "
+                    f"step {self.step:5d}  loss {loss:.4f}  "
                     f"lr {self.optimizer.lr:.2e}"
                 )
         return self.log

@@ -137,7 +137,8 @@ def test_comm_patterns_are_as_paper_describes(rng):
     sim = Simulator.for_flat(p=4, trace=True)
     mm = MegatronModel(sim, cfg, params, stem_only=True)
     mm.stem_forward(4)
-    m_kinds = {e.kind for e in sim.tracer.events}
+    # compute slices are traced too now; the *communication* is pure all-reduce
+    m_kinds = {e.kind for e in sim.tracer.events if e.kind != "compute"}
     assert m_kinds == {"all_reduce"}
 
 

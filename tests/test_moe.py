@@ -150,7 +150,7 @@ class TestMoE2D:
         kinds = {e.kind for e in mesh.sim.tracer.events}
         # broadcast (gate + bias + SUMMA) and all_reduce (gate logits, aux);
         # crucially there is no gather/scatter/all-to-all of token data
-        assert kinds <= {"broadcast", "all_reduce", "reduce"}
+        assert kinds <= {"broadcast", "all_reduce", "reduce", "compute"}
 
     def test_dryrun_balanced_assumption(self, moe_setup):
         params, _, _ = moe_setup
