@@ -6,6 +6,7 @@ Usage::
     python -m repro fig9              # memory limits (Figure 9)
     python -m repro all               # every table and figure
     python -m repro verify            # quick numerical equivalence check
+    python -m repro check --trials 5  # fuzzed equivalence + contract checks
     python -m repro profile table1 --trace-out trace.json --mem-timeline
 
 Each experiment command prints the same rows/series the paper reports, side
@@ -166,7 +167,32 @@ def main(argv=None) -> int:
         "--top", type=int, default=12, help="rows in the top-span report"
     )
 
+    chk = sub.add_parser(
+        "check",
+        help="fuzzed Optimus/Megatron/serial equivalence under contract "
+        "and invariant checking",
+    )
+    chk.add_argument("--seed", type=int, default=0, help="fuzzing seed")
+    chk.add_argument("--trials", type=int, default=5, help="number of trials")
+    chk.add_argument(
+        "--no-strict", action="store_true",
+        help="skip DTensor layout-invariant validation",
+    )
+    chk.add_argument(
+        "--no-contracts", action="store_true",
+        help="skip collective contract checking",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "check":
+        from repro.check.fuzz import main as check_main
+
+        return check_main(
+            seed=args.seed,
+            trials=args.trials,
+            strict=not args.no_strict,
+            contracts=not args.no_contracts,
+        )
     if args.command == "profile":
         from repro.obs.profile import main as profile_main
 

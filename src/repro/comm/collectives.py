@@ -166,14 +166,16 @@ def scatter(group: ProcessGroup, full, root: int, axis: int = 0) -> Shards:
     if full.shape[axis % full.ndim] % g != 0:
         raise ValueError("scatter axis not divisible by group size")
     pieces = ops.split(full, g, axis=axis)
-    total = ops.nbytes(full)
-    # scatter moves (g-1)/g of the buffer out of the root, tree-style
+    # scatter moves (g-1)/g of the buffer out of the root, tree-style; the
+    # byte counters, the α–β time, and the weighted volume must all charge
+    # this same moved volume or the comm-matrix reconciliation breaks
+    moved = ops.nbytes(full) * (g - 1) / g
     _charge(
         group,
         "scatter",
-        group.model.broadcast_time(total * (g - 1) / g),
-        total,
-        group.model.broadcast_weighted_volume(total * (g - 1) / g),
+        group.model.broadcast_time(moved),
+        moved,
+        group.model.broadcast_weighted_volume(moved),
     )
     return {r: _copy(pieces[i]) for i, r in enumerate(group.ranks)}
 
@@ -185,14 +187,16 @@ def gather(group: ProcessGroup, shards: Shards, root: int, axis: int = 0) -> Sha
     _check_shards(group, shards, same_shape=False)
     parts = [shards[r] for r in group.ranks]
     full = ops.concatenate(parts, axis=axis)
-    total = ops.nbytes(full)
     g = group.size
+    # gather moves (g-1)/g of the result into the root; charge bytes, time,
+    # and weighted volume consistently (see scatter)
+    moved = ops.nbytes(full) * (g - 1) / g
     _charge(
         group,
         "gather",
-        group.model.reduce_time(total * (g - 1) / g),
-        total,
-        group.model.reduce_weighted_volume(total * (g - 1) / g),
+        group.model.reduce_time(moved),
+        moved,
+        group.model.reduce_weighted_volume(moved),
     )
     return {root: full}
 

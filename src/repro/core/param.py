@@ -83,6 +83,21 @@ class DistModule:
         for p in self.parameters():
             p.zero_grad()
 
+    def validate_invariants(self) -> None:
+        """Check every parameter (and gradient) against its layout contract.
+
+        Raises :class:`repro.check.invariants.InvariantViolation` on the
+        first shard whose shape, ownership, or replication is inconsistent.
+        Used by the ``repro check`` fuzz runner between steps and available
+        to tests for targeted corruption probes.
+        """
+        from repro.check.invariants import validate_dtensor
+
+        for p in self.parameters():
+            validate_dtensor(p.data, name=p.name)
+            if p.grad is not None:
+                validate_dtensor(p.grad, name=f"{p.name}.grad")
+
 
 def charge_param_memory(param: DistParam, sim, tag: str = "params") -> None:
     """Account a parameter's shard bytes on each hosting device."""

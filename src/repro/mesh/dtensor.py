@@ -32,6 +32,14 @@ class DTensor:
         self.layout = layout
         self.shards = dict(shards)
         self.global_shape = tuple(int(s) for s in global_shape)
+        # strict mode (repro.check): validate the layout contract at every
+        # construction site.  The guard is two attribute reads, so the hot
+        # path stays free when the simulator has strict mode off.
+        sim = getattr(owner, "sim", None)
+        if sim is not None and getattr(sim, "strict_invariants", False):
+            from repro.check.invariants import validate_dtensor
+
+            validate_dtensor(self)
 
     # ------------------------------------------------------------------
     @property

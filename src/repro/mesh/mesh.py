@@ -82,5 +82,12 @@ class Mesh:
     def device(self, rank: int):
         return self.sim.device(rank)
 
+    def enable_strict_invariants(self) -> None:
+        """Layout-validate every DTensor built on this mesh's simulator."""
+        self.sim.enable_strict_invariants()
+
+    def disable_strict_invariants(self) -> None:
+        self.sim.disable_strict_invariants()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Mesh(q={self.q}, p={self.p}, backend={self.backend!r})"

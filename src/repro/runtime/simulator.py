@@ -16,6 +16,7 @@ execute numerically.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.hardware.arrangement import Arrangement, make_arrangement, linear_arrangement
@@ -38,6 +39,7 @@ class Simulator:
         strict_memory: bool = False,
         backend: str = "numpy",
         trace: bool = False,
+        strict_invariants: Optional[bool] = None,
     ):
         self.cluster = cluster
         self.num_ranks = num_ranks if num_ranks is not None else cluster.num_devices
@@ -54,6 +56,15 @@ class Simulator:
             raise ValueError("arrangement rank count does not match simulator")
         self.topology = ClusterTopology(cluster)
         self.backend = backend  # "numpy" (real data) or "shape" (dryrun)
+        # strict mode: validate every DTensor built on this simulator against
+        # its layout contract (repro.check.invariants).  Costs O(data) per
+        # DTensor, so it is opt-in — per simulator, or process-wide via the
+        # REPRO_STRICT_INVARIANTS environment variable (used by CI).
+        if strict_invariants is None:
+            strict_invariants = os.environ.get(
+                "REPRO_STRICT_INVARIANTS", ""
+            ).lower() in ("1", "true", "yes", "on")
+        self.strict_invariants = bool(strict_invariants)
         self.tracer = Tracer(enabled=trace)
         self.metrics = MetricsRegistry()
         self.devices: List[SimDevice] = [
@@ -132,6 +143,16 @@ class Simulator:
             d.reset_counters(reset_clock=True)
         if not keep_trace:
             self.tracer.clear()
+
+    # ------------------------------------------------------------------
+    # correctness checking
+    # ------------------------------------------------------------------
+    def enable_strict_invariants(self) -> None:
+        """Validate every subsequently-built DTensor against its layout."""
+        self.strict_invariants = True
+
+    def disable_strict_invariants(self) -> None:
+        self.strict_invariants = False
 
     # ------------------------------------------------------------------
     # observability

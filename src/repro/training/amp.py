@@ -60,6 +60,12 @@ class DynamicLossScaler:
 
     ``step()`` returns False when an overflow was detected: the gradients
     are discarded, the scale halves, and the parameters are untouched.
+
+    The scale is clamped to ``[min_scale, max_scale]``: the floor keeps the
+    unscale well-defined after repeated overflows, the ceiling (default
+    2**24, float16's reciprocal-epsilon neighbourhood) stops a long run of
+    clean steps from doubling the scale to float infinity — which would
+    make every subsequent step overflow permanently.
     """
 
     def __init__(
@@ -70,15 +76,21 @@ class DynamicLossScaler:
         backoff_factor: float = 0.5,
         growth_interval: int = 2000,
         min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
     ):
         if init_scale <= 0 or growth_factor <= 1.0 or not 0 < backoff_factor < 1:
             raise ValueError("invalid loss-scaler hyperparameters")
+        if not min_scale <= init_scale <= max_scale:
+            raise ValueError(
+                f"init_scale {init_scale} outside [{min_scale}, {max_scale}]"
+            )
         self.optimizer = optimizer
         self.scale = float(init_scale)
         self.growth_factor = growth_factor
         self.backoff_factor = backoff_factor
         self.growth_interval = growth_interval
         self.min_scale = min_scale
+        self.max_scale = max_scale
         self._good_steps = 0
         self.num_overflows = 0
 
@@ -96,7 +108,10 @@ class DynamicLossScaler:
         self.optimizer.step()
         self._good_steps += 1
         if self._good_steps >= self.growth_interval:
-            self.scale *= self.growth_factor
+            # cap the growth: unbounded doubling eventually reaches float
+            # inf, after which every unscale produces zeros/NaNs and every
+            # step is skipped forever
+            self.scale = min(self.max_scale, self.scale * self.growth_factor)
             self._good_steps = 0
         return True
 

@@ -88,7 +88,14 @@ class _DistOptimizerBase:
 
 
 class SGD(_DistOptimizerBase):
-    """Plain / momentum SGD with optional decoupled weight decay."""
+    """Plain / momentum SGD with optional decoupled weight decay.
+
+    Weight decay is *decoupled* (SGDW, Loshchilov & Hutter): the parameter
+    is shrunk by ``1 − lr·wd`` before the gradient step, so the decay never
+    enters the momentum buffer.  Folding ``wd·θ`` into the gradient instead
+    (coupled L2) would let momentum carry stale decay terms across steps —
+    a different trajectory than the docstring promises.
+    """
 
     def __init__(self, params, lr=0.1, momentum=0.0, weight_decay=0.0, sim=None):
         self.momentum = momentum
@@ -99,7 +106,7 @@ class SGD(_DistOptimizerBase):
     def _update_shard(self, shard, grad, state, rank) -> None:
         g = np.asarray(grad)
         if self.weight_decay:
-            g = g + self.weight_decay * np.asarray(shard)
+            shard *= 1.0 - self.lr * self.weight_decay
         if self.momentum:
             buf = state["slots"][0][rank]
             buf *= self.momentum
@@ -108,11 +115,16 @@ class SGD(_DistOptimizerBase):
         shard -= self.lr * g
 
     def _flops_per_element(self) -> float:
-        return 2.0 + (2.0 if self.momentum else 0.0) + (2.0 if self.weight_decay else 0.0)
+        # update (mul+sub) + momentum (mul+add) + decoupled decay (one mul)
+        return 2.0 + (2.0 if self.momentum else 0.0) + (1.0 if self.weight_decay else 0.0)
 
 
 class Adam(_DistOptimizerBase):
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction.
+
+    ``weight_decay`` here is classic *coupled* L2 regularization (added to
+    the gradient before the moment updates), matching :class:`SerialAdam`.
+    """
 
     n_state_slots = 2
 
@@ -140,7 +152,8 @@ class Adam(_DistOptimizerBase):
         shard -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
 
     def _flops_per_element(self) -> float:
-        return 12.0
+        # moments + bias correction + update, plus the coupled-L2 mul/add
+        return 12.0 + (2.0 if self.weight_decay else 0.0)
 
 
 def make_immediate_updater(optimizer, buffers=None):
@@ -169,6 +182,9 @@ def make_immediate_updater(optimizer, buffers=None):
 # serial counterparts (for the reference model / equivalence tests)
 # ----------------------------------------------------------------------
 class SerialSGD:
+    """Serial mirror of :class:`SGD` — identical decoupled-decay update
+    order, so the dist-vs-serial trajectory tests compare like with like."""
+
     def __init__(self, params: Dict[str, np.ndarray], lr=0.1, momentum=0.0, weight_decay=0.0):
         self.params = params
         self.lr = lr
@@ -182,7 +198,7 @@ class SerialSGD:
                 continue
             g = np.asarray(grads[name])
             if self.weight_decay:
-                g = g + self.weight_decay * p
+                p *= 1.0 - self.lr * self.weight_decay
             if self.momentum:
                 self._buf[name] = self.momentum * self._buf[name] + g
                 g = self._buf[name]

@@ -107,6 +107,27 @@ class TestDynamicLossScaler:
         assert scaler.scale == 1.0
         assert scaler.state()["num_overflows"] == 5
 
+    def test_scale_ceiling(self, cfg, batch):
+        """Regression: growth used to double without bound, eventually
+        reaching float inf and permanently overflowing every step."""
+        ids, labels = batch
+        model, opt = _model_and_opt(cfg)
+        scaler = DynamicLossScaler(
+            opt, init_scale=2.0**23, growth_interval=1, max_scale=2.0**24
+        )
+        for _ in range(3):
+            opt.zero_grad()
+            model.forward(ids, labels)
+            model.backward()
+            scale_grads(model.parameters(), scaler.scale)
+            assert scaler.step()
+        assert scaler.scale == 2.0**24  # clamped, not 2**26
+        assert np.isfinite(scaler.scale)
+
+    def test_default_ceiling(self, cfg, batch):
+        _, opt = _model_and_opt(cfg)
+        assert DynamicLossScaler(opt).max_scale == 2.0**24
+
     def test_bad_hyperparameters(self, cfg, batch):
         _, opt = _model_and_opt(cfg)
         with pytest.raises(ValueError):
@@ -115,3 +136,7 @@ class TestDynamicLossScaler:
             DynamicLossScaler(opt, growth_factor=1.0)
         with pytest.raises(ValueError):
             DynamicLossScaler(opt, backoff_factor=1.5)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(opt, init_scale=2.0**30)  # above max_scale
+        with pytest.raises(ValueError):
+            DynamicLossScaler(opt, init_scale=2.0, min_scale=4.0)

@@ -143,6 +143,34 @@ class TestClockAndCost:
         coll.all_reduce(g, {r: buf.copy() for r in g.ranks})
         assert d.weighted_comm_volume - before == pytest.approx(2 * 3 / 4 * 800)
 
+    def test_scatter_charges_moved_fraction(self, rng):
+        """Regression: scatter charged full-buffer bytes but (g−1)/g time
+        and weighted volume — the three must agree on the moved volume."""
+        g = _group()
+        full = rng.normal(size=(8, 4))
+        coll.scatter(g, full, root=0, axis=0)
+        moved = full.nbytes * 3 / 4
+        for r in g.ranks:
+            d = g.sim.device(r)
+            assert d.bytes_comm == pytest.approx(moved)
+            assert d.comm_time == pytest.approx(g.model.broadcast_time(moved))
+            assert d.weighted_comm_volume == pytest.approx(
+                g.model.broadcast_weighted_volume(moved)
+            )
+
+    def test_gather_charges_moved_fraction(self, rng):
+        g = _group()
+        sh = _shards(g, rng, shape=(2, 4))
+        coll.gather(g, sh, root=1, axis=0)
+        moved = sum(v.nbytes for v in sh.values()) * 3 / 4
+        for r in g.ranks:
+            d = g.sim.device(r)
+            assert d.bytes_comm == pytest.approx(moved)
+            assert d.comm_time == pytest.approx(g.model.reduce_time(moved))
+            assert d.weighted_comm_volume == pytest.approx(
+                g.model.reduce_weighted_volume(moved)
+            )
+
     def test_tracer_records(self, rng):
         sim = Simulator.for_flat(p=2, trace=True)
         g = ProcessGroup(sim, range(2))

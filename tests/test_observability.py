@@ -204,6 +204,23 @@ class TestCommMatrix:
             for j in range(n):
                 assert mat[i][j] == pytest.approx(mat[j][i], rel=1e-12)
 
+    def test_row_sums_reconcile_after_scatter_gather(self):
+        """Regression: scatter/gather used to charge counters and trace
+        events inconsistently, breaking row-sum reconciliation."""
+        from repro.comm import ProcessGroup, collectives as coll
+
+        sim = Simulator.for_flat(p=4, trace=True)
+        g = ProcessGroup(sim, range(4), kind="test")
+        rng = np.random.default_rng(0)
+        full = rng.normal(size=(8, 4))
+        pieces = coll.scatter(g, full, root=1, axis=0)
+        coll.gather(g, pieces, root=2, axis=0)
+        coll.broadcast(g, full, root=0)
+        mat = comm_matrix(sim)
+        for r, s in enumerate(row_sums(mat)):
+            assert s == pytest.approx(sim.device(r).bytes_comm, rel=1e-12)
+        assert matrix_total(mat) == pytest.approx(sim.total_bytes_comm(), rel=1e-12)
+
     def test_p2p_charged_to_both_endpoints(self):
         sim = Simulator.for_flat(p=4, trace=True)
         x = np.ones((64, 64))

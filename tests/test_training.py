@@ -40,6 +40,7 @@ class TestDistVsSerialOptimizers:
             (SGD, SerialSGD, dict(lr=0.1)),
             (SGD, SerialSGD, dict(lr=0.1, momentum=0.9)),
             (SGD, SerialSGD, dict(lr=0.1, weight_decay=0.01)),
+            (SGD, SerialSGD, dict(lr=0.1, momentum=0.9, weight_decay=0.01)),
             (Adam, SerialAdam, dict(lr=1e-2)),
             (Adam, SerialAdam, dict(lr=1e-2, weight_decay=0.01)),
         ],
@@ -82,6 +83,49 @@ class TestDistVsSerialOptimizers:
         state_bytes = sim.device(0).memory.by_tag.get("optimizer_state", 0)
         assert state_bytes > 0
         assert sim.device(0).memory.current == before + state_bytes
+
+
+class TestDecoupledWeightDecay:
+    """Regression: weight decay used to be folded into the momentum-carried
+    gradient (coupled L2), so stale decay terms compounded across steps."""
+
+    def test_serial_decay_bypasses_momentum(self):
+        p = np.array([1.0])
+        opt = SerialSGD({"w": p}, lr=0.1, momentum=0.9, weight_decay=0.5)
+        zero = {"w": np.array([0.0])}
+        opt.step(zero)
+        np.testing.assert_allclose(p, [0.95])
+        # coupled L2 would give 0.8575 here: the first step's 0.5·θ decay
+        # term survives in the momentum buffer and is re-applied at 0.9×
+        opt.step(zero)
+        np.testing.assert_allclose(p, [0.95**2])
+
+    def test_dist_decay_bypasses_momentum(self, cfg, batch):
+        ids, labels = batch
+        model = _make_model(cfg)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=0.5)
+        model.forward(ids, labels)
+        model.backward()
+        for p in model.parameters():
+            p.grad = p.grad.map(np.zeros_like)  # isolate the decay path
+        w0 = assemble_blocked_2d(model.named_parameters()["layer0.mlp.w1"].data).copy()
+        opt.step()
+        opt.step()
+        w2 = assemble_blocked_2d(model.named_parameters()["layer0.mlp.w1"].data)
+        np.testing.assert_allclose(w2, w0 * 0.95**2, rtol=1e-12)
+
+    def test_flops_count_decay_and_momentum(self, cfg):
+        model = _make_model(cfg)
+        params = model.parameters()
+        assert SGD(params, lr=0.1)._flops_per_element() == 2.0
+        assert SGD(params, lr=0.1, weight_decay=0.01)._flops_per_element() == 3.0
+        assert SGD(params, lr=0.1, momentum=0.9)._flops_per_element() == 4.0
+        assert (
+            SGD(params, lr=0.1, momentum=0.9, weight_decay=0.01)._flops_per_element()
+            == 5.0
+        )
+        assert Adam(params, lr=1e-3)._flops_per_element() == 12.0
+        assert Adam(params, lr=1e-3, weight_decay=0.01)._flops_per_element() == 14.0
 
 
 class TestGradUtilities:
