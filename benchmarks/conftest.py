@@ -5,9 +5,31 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 from typing import Mapping, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _write_preserving(path: pathlib.Path, content: str) -> None:
+    """Write ``content`` to ``path`` without silently discarding old results.
+
+    Identical content is a no-op; differing content moves the existing file
+    aside to ``<stem>.<mtime-stamp><suffix>`` first, so two bench runs in
+    one CI job (or a re-run after a code change) never clobber each other.
+    """
+    if path.exists():
+        old = path.read_text()
+        if old == content:
+            return
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(path.stat().st_mtime))
+        archived = path.with_name(f"{path.stem}.{stamp}{path.suffix}")
+        n = 1
+        while archived.exists():
+            archived = path.with_name(f"{path.stem}.{stamp}-{n}{path.suffix}")
+            n += 1
+        path.rename(archived)
+    path.write_text(content)
 
 
 def save_result(name: str, text: str, metrics: Optional[Mapping] = None) -> None:
@@ -16,13 +38,16 @@ def save_result(name: str, text: str, metrics: Optional[Mapping] = None) -> None
     When ``metrics`` is given it is additionally written as
     ``results/{name}.json`` so downstream tooling (CI trend lines, the
     profile reports) can consume the numbers without re-parsing tables.
+    Existing differing results are archived with a timestamp rather than
+    overwritten (see :func:`_write_preserving`).
     """
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _write_preserving(RESULTS_DIR / f"{name}.txt", text + "\n")
     if metrics is not None:
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        _write_preserving(
+            RESULTS_DIR / f"{name}.json",
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n",
         )
 
 

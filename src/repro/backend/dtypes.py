@@ -10,6 +10,7 @@ widths in one place guarantees that "measured" (allocator) and "modeled"
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -58,8 +59,13 @@ def dtype_size(d) -> int:
     return as_dtype(d).itemsize
 
 
+@lru_cache(maxsize=None)
 def result_float(*dtypes) -> DType:
-    """Promotion rule for floating arithmetic between backend dtypes."""
+    """Promotion rule for floating arithmetic between backend dtypes.
+
+    Memoized: the dryrun backend resolves a promotion on every arithmetic
+    op, and the distinct argument tuples number in the dozens at most.
+    """
     ds = [as_dtype(d) for d in dtypes]
     floats = [d for d in ds if d.np_dtype.kind == "f"]
     if not floats:

@@ -14,6 +14,7 @@ here too, so a dryrun is a meaningful validity check for a configuration.
 
 from __future__ import annotations
 
+from math import prod
 from typing import Tuple
 
 import numpy as np
@@ -29,6 +30,22 @@ def _normalize_axis(axis, ndim):
     return tuple(a % ndim for a in axis)
 
 
+# np.broadcast_shapes is surprisingly expensive (it builds dummy views); the
+# dryrun backend resolves the same few shape pairs millions of times, so a
+# plain dict memo pays for itself immediately.
+_BCAST_CACHE: dict = {}
+
+
+def _broadcast_shapes(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    if a == b:
+        return a
+    key = (a, b)
+    out = _BCAST_CACHE.get(key)
+    if out is None:
+        out = _BCAST_CACHE[key] = np.broadcast_shapes(a, b)
+    return out
+
+
 class ShapeArray:
     """An array placeholder carrying only ``shape`` and ``dtype``."""
 
@@ -36,10 +53,22 @@ class ShapeArray:
     __array_priority__ = 100.0  # make numpy defer to our reflected operators
 
     def __init__(self, shape, dtype=None):
-        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
-        self.dtype: DType = as_dtype(dtype if dtype is not None else "float32")
-        if any(s < 0 for s in self.shape):
-            raise ValueError(f"negative dimension in shape {self.shape}")
+        # fast path: shapes almost always arrive as tuples of plain ints
+        # (propagated from an existing ShapeArray)
+        if type(shape) is tuple:
+            for s in shape:
+                if type(s) is not int:
+                    shape = tuple(int(x) for x in shape)
+                    break
+        else:
+            shape = tuple(int(s) for s in shape)
+        self.shape: Tuple[int, ...] = shape
+        self.dtype: DType = (
+            dtype if type(dtype) is DType
+            else as_dtype(dtype if dtype is not None else "float32")
+        )
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in shape {shape}")
 
     # ------------------------------------------------------------------
     # basic properties
@@ -50,11 +79,11 @@ class ShapeArray:
 
     @property
     def size(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        return prod(self.shape)
 
     @property
     def nbytes(self) -> int:
-        return self.size * self.dtype.itemsize
+        return prod(self.shape) * self.dtype.itemsize
 
     @property
     def T(self) -> "ShapeArray":
@@ -68,14 +97,15 @@ class ShapeArray:
     # ------------------------------------------------------------------
     def _binary(self, other, bool_result=False):
         if isinstance(other, ShapeArray):
-            oshape, odtype = other.shape, other.dtype
+            shape = _broadcast_shapes(self.shape, other.shape)
+            odtype = other.dtype
         elif isinstance(other, np.ndarray):
-            oshape, odtype = other.shape, as_dtype(other.dtype)
+            shape = _broadcast_shapes(self.shape, other.shape)
+            odtype = as_dtype(other.dtype)
         elif isinstance(other, (int, float, bool, np.generic)):
-            oshape, odtype = (), self.dtype
+            shape, odtype = self.shape, self.dtype
         else:
             return NotImplemented
-        shape = np.broadcast_shapes(self.shape, oshape)
         dtype = bool_ if bool_result else result_float(self.dtype, odtype)
         return ShapeArray(shape, dtype)
 
@@ -124,7 +154,7 @@ class ShapeArray:
             b = b + (1,)
         if a[-1] != b[-2]:
             raise ValueError(f"matmul inner dims mismatch: {self.shape} @ {tuple(other.shape)}")
-        batch = np.broadcast_shapes(a[:-2], b[:-2])
+        batch = _broadcast_shapes(a[:-2], b[:-2])
         shape = batch + (a[-2], b[-1])
         odt = other.dtype if isinstance(other, ShapeArray) else as_dtype(other.dtype)
         return ShapeArray(shape, result_float(self.dtype, odt))
@@ -142,11 +172,11 @@ class ShapeArray:
         if shape.count(-1) > 1:
             raise ValueError("can only specify one unknown dimension")
         if -1 in shape:
-            known = int(np.prod([s for s in shape if s != -1], dtype=np.int64)) or 1
+            known = prod(s for s in shape if s != -1) or 1
             if known == 0 or self.size % known != 0:
                 raise ValueError(f"cannot reshape {self.shape} into {shape}")
             shape = tuple(self.size // known if s == -1 else s for s in shape)
-        if int(np.prod(shape, dtype=np.int64) if shape else 1) != self.size:
+        if prod(shape) != self.size:
             raise ValueError(f"cannot reshape array of size {self.size} into shape {shape}")
         return ShapeArray(shape, self.dtype)
 

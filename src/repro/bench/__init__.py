@@ -1,0 +1,36 @@
+"""Pinned micro/macro benchmark suite with machine-readable results.
+
+``python -m repro bench`` runs the suite; ``--out`` writes a
+``repro-bench-v1`` JSON document, ``--compare BASELINE.json`` exits nonzero
+when any benchmark's calibration-normalized wall-clock regresses beyond the
+threshold (default 20%).  See ``docs/simulator.md`` ("Performance &
+benchmarking").
+"""
+
+from repro.bench.core import (
+    REGISTRY,
+    BenchResult,
+    Comparison,
+    bench,
+    calibrate,
+    compare,
+    load_results,
+    render_comparison,
+    run_benchmark,
+    run_suite,
+    save_results,
+)
+
+__all__ = [
+    "BenchResult",
+    "Comparison",
+    "REGISTRY",
+    "bench",
+    "calibrate",
+    "compare",
+    "load_results",
+    "render_comparison",
+    "run_benchmark",
+    "run_suite",
+    "save_results",
+]

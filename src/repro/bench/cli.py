@@ -1,0 +1,40 @@
+"""``python -m repro bench`` — run the suite, persist results, gate CI."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.bench.core import (
+    compare,
+    load_results,
+    render_comparison,
+    run_suite,
+    save_results,
+)
+
+
+def main(
+    out: Optional[str] = None,
+    baseline: Optional[str] = None,
+    only: Optional[List[str]] = None,
+    repeats: Optional[int] = None,
+    threshold: float = 0.20,
+    printer=print,
+) -> int:
+    doc = run_suite(only=only, repeats=repeats, printer=printer)
+    if out:
+        if out == "auto":
+            out = f"BENCH_{time.strftime('%Y%m%d')}.json"
+        save_results(doc, out)
+        printer(f"results written to {out}")
+    if baseline:
+        rows = compare(doc, load_results(baseline), threshold=threshold)
+        printer("")
+        printer(render_comparison(rows, threshold))
+        regressed = [c.name for c in rows if c.regressed]
+        if regressed:
+            printer(f"FAIL: {len(regressed)} benchmark(s) regressed: {', '.join(regressed)}")
+            return 1
+        printer("PASS: no benchmark regressed beyond threshold")
+    return 0

@@ -1,0 +1,182 @@
+"""Pre-optimization reference implementations for same-run A/B benchmarks.
+
+The ``macro/optimus_stem_ab`` benchmark reports the speedup of the current
+hot path over the *pre-optimization* code — measured in the same process, on
+the same machine, so the ratio is meaningful regardless of where the suite
+runs.  This module keeps verbatim copies of the seed implementations that
+the optimization pass replaced and a context manager that swaps them in:
+
+* ``ShapeArray.size`` / ``nbytes`` via ``np.prod`` (now ``math.prod``);
+* ``ShapeArray.__init__`` / ``_binary`` / ``__matmul__`` without the
+  tuple-fast-path, memoized broadcast-shape, and memoized float-promotion
+  shortcuts;
+* uncached ``result_float``;
+* collectives without zero-copy single-rank groups, without in-place reduce
+  accumulation, and recomputing α–β prices even when a precost is supplied;
+* SUMMA without the plan cache and without the scratch-buffer pool
+  (via :func:`repro.core.summa.optimizations`).
+
+Everything here is test-covered for numeric equivalence with the optimized
+path (``tests/test_bench.py``); only the cost profile differs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.backend import dtypes as _dtypes
+from repro.backend import ops
+from repro.backend import shape_array as _sa_mod
+from repro.backend.dtypes import as_dtype, bool_, float64
+from repro.backend.shape_array import ShapeArray, is_shape_array
+from repro.comm import collectives as _coll
+from repro.core import summa as _summa
+
+
+# ----------------------------------------------------------------------
+# seed ShapeArray internals
+# ----------------------------------------------------------------------
+def _legacy_init(self, shape, dtype=None):
+    self.shape = tuple(int(s) for s in shape)
+    self.dtype = as_dtype(dtype if dtype is not None else "float32")
+    if any(s < 0 for s in self.shape):
+        raise ValueError(f"negative dimension in shape {self.shape}")
+
+
+def _legacy_size(self) -> int:
+    return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+
+def _legacy_nbytes(self) -> int:
+    return self.size * self.dtype.itemsize
+
+
+def _legacy_binary(self, other, bool_result=False):
+    if isinstance(other, ShapeArray):
+        oshape, odtype = other.shape, other.dtype
+    elif isinstance(other, np.ndarray):
+        oshape, odtype = other.shape, as_dtype(other.dtype)
+    elif isinstance(other, (int, float, bool, np.generic)):
+        oshape, odtype = (), self.dtype
+    else:
+        return NotImplemented
+    shape = np.broadcast_shapes(self.shape, oshape)
+    dtype = bool_ if bool_result else _legacy_result_float(self.dtype, odtype)
+    return ShapeArray(shape, dtype)
+
+
+def _legacy_matmul(self, other):
+    if not isinstance(other, (ShapeArray, np.ndarray)):
+        return NotImplemented
+    a, b = self.shape, tuple(other.shape)
+    if len(a) < 1 or len(b) < 1:
+        raise ValueError("matmul operands must be at least 1-D")
+    if len(a) == 1:
+        a = (1,) + a
+    if len(b) == 1:
+        b = b + (1,)
+    if a[-1] != b[-2]:
+        raise ValueError(f"matmul inner dims mismatch: {self.shape} @ {tuple(other.shape)}")
+    batch = np.broadcast_shapes(a[:-2], b[:-2])
+    shape = batch + (a[-2], b[-1])
+    odt = other.dtype if isinstance(other, ShapeArray) else as_dtype(other.dtype)
+    return ShapeArray(shape, _legacy_result_float(self.dtype, odt))
+
+
+def _legacy_result_float(*dts):
+    ds = [as_dtype(d) for d in dts]
+    floats = [d for d in ds if d.np_dtype.kind == "f"]
+    if not floats:
+        return float64
+    return max(floats, key=lambda d: d.itemsize)
+
+
+# ----------------------------------------------------------------------
+# seed collectives (signatures accept — and ignore — a precost, because the
+# optimized SUMMA exec path passes one positionally)
+# ----------------------------------------------------------------------
+def _legacy_copy(x):
+    return x if is_shape_array(x) else np.array(x, copy=True)
+
+
+def _legacy_broadcast(group, src, root, precost=None):
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    nbytes = ops.nbytes(src)
+    _coll._charge(
+        group,
+        "broadcast",
+        group.model.broadcast_time(nbytes),
+        nbytes,
+        group.model.broadcast_weighted_volume(nbytes),
+    )
+    return {r: (src if r == root else _legacy_copy(src)) for r in group.ranks}
+
+
+def _legacy_combine(group, shards, op):
+    acc = _legacy_copy(shards[group.ranks[0]])
+    for r in group.ranks[1:]:
+        if op == "sum":
+            acc = acc + shards[r]
+        elif op == "max":
+            acc = ops.maximum(acc, shards[r])
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+    return acc
+
+
+def _legacy_reduce(group, shards, root, op="sum", precost=None):
+    if root not in group.ranks:
+        raise ValueError(f"root {root} not in group {group.ranks}")
+    _coll._check_shards(group, shards)
+    acc = _legacy_combine(group, shards, op)
+    nbytes = ops.nbytes(acc)
+    _coll._charge(
+        group,
+        "reduce",
+        group.model.reduce_time(nbytes),
+        nbytes,
+        group.model.reduce_weighted_volume(nbytes),
+    )
+    return {root: acc}
+
+
+_SHAPE_ARRAY_PATCHES = {
+    "__init__": _legacy_init,
+    "size": property(_legacy_size),
+    "nbytes": property(_legacy_nbytes),
+    "_binary": _legacy_binary,
+    "__matmul__": _legacy_matmul,
+}
+
+_MODULE_PATCHES = [
+    # result_float is looked up through each consumer module's globals
+    (_sa_mod, "result_float", _legacy_result_float),
+    (ops, "result_float", _legacy_result_float),
+    (_dtypes, "result_float", _legacy_result_float),
+    (_coll, "broadcast", _legacy_broadcast),
+    (_coll, "reduce", _legacy_reduce),
+    (_coll, "_combine", _legacy_combine),
+    (_coll, "_copy", _legacy_copy),
+]
+
+
+@contextmanager
+def pre_optimization():
+    """Run the enclosed block against the seed (pre-optimization) hot path."""
+    saved_cls = {name: ShapeArray.__dict__[name] for name in _SHAPE_ARRAY_PATCHES}
+    saved_mod = [(mod, name, getattr(mod, name)) for mod, name, _ in _MODULE_PATCHES]
+    for name, impl in _SHAPE_ARRAY_PATCHES.items():
+        setattr(ShapeArray, name, impl)
+    for mod, name, impl in _MODULE_PATCHES:
+        setattr(mod, name, impl)
+    try:
+        with _summa.optimizations(plan_cache=False, pool=False):
+            yield
+    finally:
+        for name, impl in saved_cls.items():
+            setattr(ShapeArray, name, impl)
+        for mod, name, impl in saved_mod:
+            setattr(mod, name, impl)

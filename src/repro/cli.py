@@ -167,6 +167,32 @@ def main(argv=None) -> int:
         "--top", type=int, default=12, help="rows in the top-span report"
     )
 
+    bch = sub.add_parser(
+        "bench",
+        help="run the pinned micro/macro benchmark suite "
+        "(machine-readable results, optional regression gate)",
+    )
+    bch.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write repro-bench-v1 JSON results (use 'auto' for BENCH_<date>.json)",
+    )
+    bch.add_argument(
+        "--compare", default=None, metavar="BASELINE.json", dest="baseline",
+        help="compare against a baseline; exit 1 on wall-clock regression",
+    )
+    bch.add_argument(
+        "--only", action="append", default=None, metavar="PATTERN",
+        help="run only benchmarks whose name contains PATTERN (repeatable)",
+    )
+    bch.add_argument(
+        "--repeats", type=int, default=None,
+        help="override per-benchmark repeat count",
+    )
+    bch.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative wall-clock regression threshold (default 0.20)",
+    )
+
     chk = sub.add_parser(
         "check",
         help="fuzzed Optimus/Megatron/serial equivalence under contract "
@@ -184,6 +210,16 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.command == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(
+            out=args.out,
+            baseline=args.baseline,
+            only=args.only,
+            repeats=args.repeats,
+            threshold=args.threshold,
+        )
     if args.command == "check":
         from repro.check.fuzz import main as check_main
 

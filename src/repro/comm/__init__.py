@@ -8,18 +8,18 @@ charging α–β time, byte counters, and the paper's ``log(g)·B`` /
 ``2(g−1)B/g`` weighted volumes used by Table 1.
 """
 
-from repro.comm.cost import GroupCommModel
-from repro.comm.group import ProcessGroup, make_group
 from repro.comm import collectives
 from repro.comm.collectives import (
-    broadcast,
-    reduce,
-    all_reduce,
     all_gather,
+    all_reduce,
+    broadcast,
+    gather,
+    reduce,
     reduce_scatter,
     scatter,
-    gather,
 )
+from repro.comm.cost import GroupCommModel
+from repro.comm.group import ProcessGroup, make_group
 
 __all__ = [
     "GroupCommModel",

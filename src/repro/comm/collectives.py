@@ -10,11 +10,22 @@ The data semantics mirror MPI: ``broadcast`` copies the root's buffer to all,
 ``reduce``/``all_reduce`` sum elementwise, ``all_gather``/``gather``
 concatenate in rank order along an axis, ``reduce_scatter`` sums then splits,
 ``scatter`` splits the root's buffer.
+
+Two hot-path refinements (numerics-neutral, see ``docs/simulator.md``):
+
+* **single-rank groups are zero-copy** — a collective over one rank moves no
+  data, charges nothing, and returns the caller's buffer unchanged instead
+  of copying it;
+* **precosted calls** — ``broadcast``/``reduce`` accept an optional
+  ``precost=(dt, nbytes, weighted)`` tuple so a caller that already knows
+  the α–β price (the SUMMA plan cache) skips recomputing byte counts and
+  tree-stage timing on every step.  The charged quantities are identical to
+  the computed ones by construction of the plan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +34,7 @@ from repro.backend.shape_array import is_shape_array
 from repro.comm.group import ProcessGroup
 
 Shards = Dict[int, object]
+Precost = Tuple[float, float, float]  # (dt, nbytes, weighted volume)
 
 
 def _check_shards(group: ProcessGroup, shards: Shards, same_shape: bool = True) -> None:
@@ -38,6 +50,10 @@ def _check_shards(group: ProcessGroup, shards: Shards, same_shape: bool = True) 
 
 def _copy(x):
     """Isolate buffers across ranks (placeholders are immutable, pass through)."""
+    if type(x) is np.ndarray:
+        # order="K" preserves the source layout exactly like np.array(x) did,
+        # while skipping np.array's dtype/shape re-inference
+        return x.copy(order="K")
     return x if is_shape_array(x) else np.array(x, copy=True)
 
 
@@ -61,52 +77,85 @@ def _charge(group: ProcessGroup, kind: str, dt: float, nbytes: float, weighted: 
 # ----------------------------------------------------------------------
 # collectives
 # ----------------------------------------------------------------------
-def broadcast(group: ProcessGroup, src, root: int) -> Shards:
+def broadcast(
+    group: ProcessGroup, src, root: int, precost: Optional[Precost] = None
+) -> Shards:
     """Copy the root rank's buffer ``src`` to every rank in the group."""
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
-    nbytes = ops.nbytes(src)
-    _charge(
-        group,
-        "broadcast",
-        group.model.broadcast_time(nbytes),
-        nbytes,
-        group.model.broadcast_weighted_volume(nbytes),
-    )
+    if group.size == 1:
+        return {root: src}  # zero-copy: nothing moves, nothing is charged
+    if precost is None:
+        nbytes = ops.nbytes(src)
+        dt = group.model.broadcast_time(nbytes)
+        weighted = group.model.broadcast_weighted_volume(nbytes)
+    else:
+        dt, nbytes, weighted = precost
+    _charge(group, "broadcast", dt, nbytes, weighted)
     return {r: (src if r == root else _copy(src)) for r in group.ranks}
 
 
 def _combine(group: ProcessGroup, shards: Shards, op: str):
-    acc = _copy(shards[group.ranks[0]])
+    first = shards[group.ranks[0]]
+    if op not in ("sum", "max"):
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if is_shape_array(first):
+        acc = first
+        for r in group.ranks[1:]:
+            acc = acc + shards[r] if op == "sum" else ops.maximum(acc, shards[r])
+        return acc
+    acc = _copy(first)
+    fold = np.add if op == "sum" else np.maximum
     for r in group.ranks[1:]:
-        if op == "sum":
-            acc = acc + shards[r]
-        elif op == "max":
-            acc = ops.maximum(acc, shards[r])
-        else:
-            raise ValueError(f"unsupported reduction op {op!r}")
+        b = shards[r]
+        if (
+            type(b) is np.ndarray
+            and type(acc) is np.ndarray
+            and b.dtype == acc.dtype
+            and b.shape == acc.shape
+        ):
+            # same order, same dtype: in-place fold is bit-identical to the
+            # out-of-place `acc = acc + b` but allocates nothing
+            fold(acc, b, out=acc)
+        else:  # mixed dtype/shape: keep numpy's promotion semantics
+            acc = acc + b if op == "sum" else np.maximum(acc, b)
     return acc
 
 
-def reduce(group: ProcessGroup, shards: Shards, root: int, op: str = "sum") -> Shards:
+def reduce(
+    group: ProcessGroup,
+    shards: Shards,
+    root: int,
+    op: str = "sum",
+    precost: Optional[Precost] = None,
+) -> Shards:
     """Elementwise-reduce all buffers onto the root rank."""
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
+    if group.size == 1:
+        if set(shards) != set(group.ranks):
+            raise ValueError(
+                f"shard ranks {sorted(shards)} do not match group ranks "
+                f"{sorted(group.ranks)}"
+            )
+        return {root: shards[root]}  # zero-copy: the root already holds the sum
     _check_shards(group, shards)
     acc = _combine(group, shards, op)
-    nbytes = ops.nbytes(acc)
-    _charge(
-        group,
-        "reduce",
-        group.model.reduce_time(nbytes),
-        nbytes,
-        group.model.reduce_weighted_volume(nbytes),
-    )
+    if precost is None:
+        nbytes = ops.nbytes(acc)
+        dt = group.model.reduce_time(nbytes)
+        weighted = group.model.reduce_weighted_volume(nbytes)
+    else:
+        dt, nbytes, weighted = precost
+    _charge(group, "reduce", dt, nbytes, weighted)
     return {root: acc}
 
 
 def all_reduce(group: ProcessGroup, shards: Shards, op: str = "sum") -> Shards:
     """Ring all-reduce: every rank ends with the elementwise reduction."""
+    if group.size == 1:
+        _check_shards(group, shards)
+        return dict(shards)  # zero-copy
     _check_shards(group, shards)
     acc = _combine(group, shards, op)
     nbytes = ops.nbytes(acc)
@@ -123,6 +172,8 @@ def all_reduce(group: ProcessGroup, shards: Shards, op: str = "sum") -> Shards:
 def all_gather(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
     """Every rank receives the rank-order concatenation along ``axis``."""
     _check_shards(group, shards, same_shape=False)
+    if group.size == 1:
+        return dict(shards)  # zero-copy: concatenation of one part is itself
     parts = [shards[r] for r in group.ranks]
     full = ops.concatenate(parts, axis=axis)
     total = ops.nbytes(full)
@@ -139,6 +190,8 @@ def all_gather(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
 def reduce_scatter(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
     """Sum all buffers, then rank i keeps the i-th equal slice along ``axis``."""
     _check_shards(group, shards)
+    if group.size == 1:
+        return dict(shards)  # zero-copy: sum of one shard, split into one piece
     g = group.size
     acc = _combine(group, shards, "sum")
     if acc.shape[axis % acc.ndim] % g != 0:
@@ -162,6 +215,8 @@ def scatter(group: ProcessGroup, full, root: int, axis: int = 0) -> Shards:
     """Split the root's buffer into equal slices, one per rank."""
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
+    if group.size == 1:
+        return {root: full}  # zero-copy
     g = group.size
     if full.shape[axis % full.ndim] % g != 0:
         raise ValueError("scatter axis not divisible by group size")
@@ -185,6 +240,8 @@ def gather(group: ProcessGroup, shards: Shards, root: int, axis: int = 0) -> Sha
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
     _check_shards(group, shards, same_shape=False)
+    if group.size == 1:
+        return {root: shards[root]}  # zero-copy
     parts = [shards[r] for r in group.ranks]
     full = ops.concatenate(parts, axis=axis)
     g = group.size

@@ -10,7 +10,7 @@ Conventions follow the paper (§2.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import List
 
 

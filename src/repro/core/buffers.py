@@ -41,12 +41,91 @@ delivers (see the ablation benchmark).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.runtime.simulator import Simulator
 
 REGIONS = ("workspace", "forward", "backward", "param_grad", "conjunction", "checkpoint")
+
+
+class ArrayPool:
+    """A free-list of real numpy scratch buffers, keyed by nbytes-class.
+
+    The SUMMA kernels produce one partial-product block per rank per step;
+    before this pool every such block was a fresh ``ndarray`` allocation
+    that died microseconds later.  The pool hands out views over recycled
+    power-of-two byte buffers instead: :meth:`acquire` returns a C-contiguous
+    array of the exact requested shape/dtype (suitable as a ``np.matmul``
+    ``out=`` target, which is bit-identical to an out-of-place product), and
+    :meth:`release` returns its backing storage to the free list.
+
+    This pools *host* allocations of the simulator process itself — the
+    simulated-device arenas are :class:`BufferManager`'s job.  Keying by
+    rounded byte class rather than exact shape lets one buffer serve every
+    same-sized block shape that SUMMA's three algorithms cycle through.
+    """
+
+    #: buffers kept per size class before further releases are dropped
+    MAX_PER_CLASS = 16
+
+    __slots__ = ("_free", "_backing", "hits", "misses", "dropped")
+
+    def __init__(self):
+        self._free: Dict[int, List[np.ndarray]] = {}
+        self._backing: Dict[int, np.ndarray] = {}  # id(view) -> raw buffer
+        self.hits = 0
+        self.misses = 0
+        self.dropped = 0
+
+    @staticmethod
+    def _class_of(nbytes: int) -> int:
+        return 1 << (nbytes - 1).bit_length() if nbytes > 1 else 1
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A C-contiguous uninitialized array of ``shape``/``dtype``."""
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
+        cls = self._class_of(max(nbytes, 1))
+        free = self._free.get(cls)
+        if free:
+            raw = free.pop()
+            self.hits += 1
+        else:
+            raw = np.empty(cls, dtype=np.uint8)
+            self.misses += 1
+        view = raw[:nbytes].view(dt).reshape(shape)
+        self._backing[id(view)] = raw
+        return view
+
+    def release(self, view: np.ndarray) -> None:
+        """Return an acquired array's storage to the free list."""
+        raw = self._backing.pop(id(view), None)
+        if raw is None:
+            return  # not pool-owned (or already released): nothing to do
+        free = self._free.setdefault(raw.nbytes, [])
+        if len(free) < self.MAX_PER_CLASS:
+            free.append(raw)
+        else:
+            self.dropped += 1
+
+    def stats(self) -> Dict[str, int]:
+        pooled = sum(len(v) for v in self._free.values())
+        pooled_bytes = sum(cls * len(v) for cls, v in self._free.items())
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "dropped": self.dropped,
+            "live": len(self._backing),
+            "free_buffers": pooled,
+            "free_bytes": pooled_bytes,
+        }
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._backing.clear()
 
 
 @dataclass

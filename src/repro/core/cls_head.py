@@ -33,7 +33,7 @@ from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import BLOCKED_2D, RANK0, ROW0_BLOCKROWS, ROW_BLOCKED
 from repro.mesh.mesh import Mesh
 from repro.mesh.partition import (  # re-exported for backward compatibility
-    assemble_row0_blockrows,
+    assemble_row0_blockrows,  # noqa: F401
     distribute_row0_blockrows,
 )
 from repro.reference import functional as F

@@ -10,7 +10,6 @@ column broadcasts / reductions (Fig. 5).
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.backend import ops
@@ -18,7 +17,7 @@ from repro.comm import collectives as coll
 from repro.config import ModelConfig
 from repro.core.buffers import BufferManager
 from repro.core.param import DistModule, DistParam, charge_param_memory
-from repro.core.summa import grads_of_ab, summa_ab, summa_abt, summa_atb
+from repro.core.summa import grads_of_ab, summa_ab
 from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import BLOCKED_2D, ROW0_COLS
 from repro.mesh.mesh import Mesh

@@ -13,7 +13,6 @@ token mean, combined across rows with a single column all-reduce of a
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -9,7 +9,7 @@ differentiation (Eqs. 1–3):
     C = AᵀB  →  dA = B·dCᵀ (Alg. 2*), dB = A·dC  (Alg. 1)
 
 so every backward pass is again a composition of these three primitives —
-no new communication patterns are needed (see :func:`grad_ab` etc.).
+no new communication patterns are needed (see :func:`grads_of_ab` etc.).
 
 Communication per step l:
 
@@ -20,20 +20,78 @@ Communication per step l:
 
 Each local block product charges ``2·(m/q)(k/q)(n/q)`` FLOPs; broadcast /
 reduce scratch lives in the buffer manager's workspace region (§3.2.3).
+
+Hot-path engineering (this module is the simulator's innermost loop):
+
+* **Plan cache** — the communication schedule of a SUMMA product (which
+  group broadcasts which root's block, the α–β price of every collective,
+  per-rank FLOP and scratch-byte counts) depends only on ``(mesh, global
+  shapes, dtypes)``.  It is computed once per distinct key and cached on
+  the mesh, so the q-step loop stops recomputing group membership, byte
+  counts, and tree-stage timing on every call.  Plans charge *identical*
+  quantities to the uncached path by construction — the ``repro check``
+  oracle and the collective contract checker both run against planned
+  execution.
+* **Scratch-buffer pool** — per-step partial products go through
+  :class:`~repro.core.buffers.ArrayPool` (``np.matmul(..., out=pooled)``
+  followed by an in-place accumulate), which is bit-identical to the
+  out-of-place product while eliminating the per-step ndarray allocations.
+
+Both optimizations can be disabled — per call site via :func:`configure` /
+:func:`optimizations`, or process-wide via ``REPRO_SUMMA_PLAN_CACHE=0`` and
+``REPRO_SUMMA_POOL=0`` — which is how ``repro bench`` measures their effect
+(the ``macro/optimus_stem_ab`` A/B benchmark).
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+import os
+from contextlib import contextmanager
 from typing import Optional
 
+import numpy as np
+
 from repro.backend import ops
-from repro.core.buffers import BufferManager
+from repro.backend.dtypes import result_float
+from repro.backend.shape_array import is_shape_array
+from repro.comm import collectives as coll
+from repro.core.buffers import ArrayPool, BufferManager
 from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import BLOCKED_2D
 from repro.mesh.mesh import Mesh
-from repro.comm import collectives as coll
 from repro.runtime.events import NULL_SPAN
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    v = os.environ.get(name)
+    if v is None:
+        return default
+    return v.lower() not in ("0", "false", "no", "off")
+
+
+_PLAN_CACHE_ENABLED = _env_flag("REPRO_SUMMA_PLAN_CACHE")
+_POOL_ENABLED = _env_flag("REPRO_SUMMA_POOL")
+
+
+def configure(plan_cache: Optional[bool] = None, pool: Optional[bool] = None):
+    """Toggle the plan cache / scratch pool; returns the previous settings."""
+    global _PLAN_CACHE_ENABLED, _POOL_ENABLED
+    previous = (_PLAN_CACHE_ENABLED, _POOL_ENABLED)
+    if plan_cache is not None:
+        _PLAN_CACHE_ENABLED = bool(plan_cache)
+    if pool is not None:
+        _POOL_ENABLED = bool(pool)
+    return previous
+
+
+@contextmanager
+def optimizations(plan_cache: bool = True, pool: bool = True):
+    """Scoped toggle, mainly for A/B benchmarking and tests."""
+    previous = configure(plan_cache, pool)
+    try:
+        yield
+    finally:
+        configure(*previous)
 
 
 def _check_blocked(x: DTensor, name: str) -> None:
@@ -43,15 +101,192 @@ def _check_blocked(x: DTensor, name: str) -> None:
         raise ValueError(f"{name} must be a 2-D matrix, got {x.global_shape}")
 
 
-def _scratch(buffers: Optional[BufferManager], rank: int, nbytes: int):
-    return buffers.scratch(rank, nbytes) if buffers is not None else nullcontext()
-
-
 def _gemm_flops(a_shape, b_cols: int) -> float:
     m, k = a_shape
     return 2.0 * m * k * b_cols
 
 
+def _pool_of(sim) -> ArrayPool:
+    pool = getattr(sim, "_array_pool", None)
+    if pool is None:
+        pool = sim._array_pool = ArrayPool()
+    return pool
+
+
+# ----------------------------------------------------------------------
+# execution plans
+# ----------------------------------------------------------------------
+class _Plan:
+    """The precomputed schedule of one SUMMA product on one mesh.
+
+    ``steps`` holds, per SUMMA step l, tuples of
+
+    * broadcast ops  — ``(group, root, (dt, nbytes, weighted))``;
+    * gemm ops       — ``(rank, device, flops, scratch_nbytes, out_shape)``;
+    * reduce ops     — ``(group, root, (dt, nbytes, weighted))`` (Algs. 2–3).
+
+    The precost triples are exactly what the collective would recompute from
+    the block's byte size, so charging is identical to unplanned execution.
+    """
+
+    __slots__ = ("steps", "numeric", "out_dtype")
+
+    def __init__(self, steps, numeric, out_dtype):
+        self.steps = steps
+        self.numeric = numeric
+        self.out_dtype = out_dtype
+
+
+def _dtype_name(x) -> str:
+    return x.dtype.name
+
+
+def _out_dtype(a: DTensor, b: DTensor, numeric: bool):
+    ablk = next(iter(a.shards.values()))
+    bblk = next(iter(b.shards.values()))
+    if numeric:
+        return np.result_type(ablk.dtype, bblk.dtype)
+    return result_float(ablk.dtype, bblk.dtype)
+
+
+def _bcast_op(group, root, blk):
+    nb = ops.nbytes(blk)
+    model = group.model
+    return (group, root, (model.broadcast_time(nb), nb, model.broadcast_weighted_volume(nb)))
+
+
+def _reduce_op(group, root, nbytes):
+    model = group.model
+    return (group, root, (model.reduce_time(nbytes), nbytes, model.reduce_weighted_volume(nbytes)))
+
+
+def _shape_sig(mesh: Mesh, x: DTensor):
+    # Per-rank local shapes, not just the global shape: ragged BLOCKED_2D
+    # tensors (e.g. MoE expert blocks sized by routed token counts) share a
+    # global shape across calls while their block shapes differ.
+    shards = x.shards
+    return tuple(shards[r].shape for r in mesh.ranks)
+
+
+def _plan_key(mesh: Mesh, algo: str, a: DTensor, b: DTensor, numeric: bool):
+    return (
+        algo,
+        a.global_shape,
+        b.global_shape,
+        _shape_sig(mesh, a),
+        _shape_sig(mesh, b),
+        _dtype_name(a),
+        _dtype_name(b),
+        numeric,
+    )
+
+
+def _get_plan(mesh: Mesh, algo: str, a: DTensor, b: DTensor, builder) -> _Plan:
+    numeric = not is_shape_array(next(iter(a.shards.values())))
+    if not _PLAN_CACHE_ENABLED:
+        return builder(mesh, a, b, numeric)
+    cache = getattr(mesh, "_summa_plans", None)
+    if cache is None:
+        cache = mesh._summa_plans = {}
+    key = _plan_key(mesh, algo, a, b, numeric)
+    plan = cache.get(key)
+    if plan is None:
+        plan = cache[key] = builder(mesh, a, b, numeric)
+    return plan
+
+
+def plan_cache_size(mesh: Mesh) -> int:
+    """Number of cached SUMMA plans on a mesh (observability/test hook)."""
+    return len(getattr(mesh, "_summa_plans", ()))
+
+
+def _build_ab(mesh: Mesh, a: DTensor, b: DTensor, numeric: bool) -> _Plan:
+    q = mesh.q
+    out_dtype = _out_dtype(a, b, numeric)
+    steps = []
+    for l in range(q):
+        a_bc = []
+        for i in range(q):
+            root = mesh.rank(i, l)
+            a_bc.append(_bcast_op(mesh.row_groups[i], root, a.shards[root]))
+        b_bc = []
+        for j in range(q):
+            root = mesh.rank(l, j)
+            b_bc.append(_bcast_op(mesh.col_groups[j], root, b.shards[root]))
+        gemms = []
+        for rank in mesh.ranks:
+            i, j = mesh.coords(rank)
+            ablk = a.shards[mesh.rank(i, l)]
+            bblk = b.shards[mesh.rank(l, j)]
+            m, k = ablk.shape
+            n = bblk.shape[1]
+            scratch = ops.nbytes(ablk) + ops.nbytes(bblk)
+            gemms.append((rank, mesh.device(rank), 2.0 * m * k * n, scratch, (m, n)))
+        steps.append((a_bc, b_bc, gemms))
+    return _Plan(steps, numeric, out_dtype)
+
+
+def _build_abt(mesh: Mesh, a: DTensor, b: DTensor, numeric: bool) -> _Plan:
+    q = mesh.q
+    out_dtype = _out_dtype(a, b, numeric)
+    itemsize = np.dtype(out_dtype).itemsize if numeric else out_dtype.itemsize
+    steps = []
+    for l in range(q):
+        b_bc = []
+        for j in range(q):
+            root = mesh.rank(l, j)
+            b_bc.append(_bcast_op(mesh.col_groups[j], root, b.shards[root]))
+        rows = []
+        for i in range(q):
+            gemms = []
+            m = n = 0
+            for j in range(q):
+                rank = mesh.rank(i, j)
+                ablk = a.shards[rank]
+                bblk = b.shards[mesh.rank(l, j)]
+                m, k = ablk.shape
+                n = bblk.shape[0]
+                gemms.append(
+                    (rank, mesh.device(rank), 2.0 * m * k * n, ops.nbytes(bblk), (m, n))
+                )
+            root = mesh.rank(i, l)
+            rows.append((gemms, _reduce_op(mesh.row_groups[i], root, m * n * itemsize)))
+        steps.append((b_bc, rows))
+    return _Plan(steps, numeric, out_dtype)
+
+
+def _build_atb(mesh: Mesh, a: DTensor, b: DTensor, numeric: bool) -> _Plan:
+    q = mesh.q
+    out_dtype = _out_dtype(a, b, numeric)
+    itemsize = np.dtype(out_dtype).itemsize if numeric else out_dtype.itemsize
+    steps = []
+    for l in range(q):
+        a_bc = []
+        for i in range(q):
+            root = mesh.rank(i, l)
+            a_bc.append(_bcast_op(mesh.row_groups[i], root, a.shards[root]))
+        cols = []
+        for j in range(q):
+            gemms = []
+            m = n = 0
+            for i in range(q):
+                rank = mesh.rank(i, j)
+                ablk = a.shards[mesh.rank(i, l)]
+                bblk = b.shards[rank]
+                k, m = ablk.shape
+                n = bblk.shape[1]
+                gemms.append(
+                    (rank, mesh.device(rank), 2.0 * m * k * n, ops.nbytes(ablk), (m, n))
+                )
+            root = mesh.rank(l, j)
+            cols.append((gemms, _reduce_op(mesh.col_groups[j], root, m * n * itemsize)))
+        steps.append((a_bc, cols))
+    return _Plan(steps, numeric, out_dtype)
+
+
+# ----------------------------------------------------------------------
+# the three products
+# ----------------------------------------------------------------------
 def summa_ab(
     mesh: Mesh,
     a: DTensor,
@@ -65,31 +300,43 @@ def summa_ab(
     K2, N = b.global_shape
     if K != K2:
         raise ValueError(f"inner dims mismatch: A {a.global_shape} · B {b.global_shape}")
-    q = mesh.q
-    tr = mesh.sim.tracer
+    plan = _get_plan(mesh, "ab", a, b, _build_ab)
+    sim = mesh.sim
+    tr = sim.tracer
     traced = tr.enabled
-    c_shards = {rank: None for rank in mesh.ranks}
-    with tr.span("summa_ab", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
-        for l in range(q):
-            with tr.span("summa_step", mesh.ranks, "summa", algo="ab", step=l) if traced else NULL_SPAN:
-                # broadcast A_{il} within each row i (root = device (i, l))
+    pool = _pool_of(sim) if (_POOL_ENABLED and plan.numeric) else None
+    ashards, bshards = a.shards, b.shards
+    c_shards = {}
+    with tr.span("summa_ab", mesh.ranks, "op", M=M, K=K, N=N, q=mesh.q) if traced else NULL_SPAN:
+        for l, (a_bc, b_bc, gemms) in enumerate(plan.steps):
+            with tr.span(
+                "summa_step", mesh.ranks, "summa", algo="ab", step=l
+            ) if traced else NULL_SPAN:
                 a_recv = {}
-                for i in range(q):
-                    root = mesh.rank(i, l)
-                    out = coll.broadcast(mesh.row_group(i), a.local(root), root)
-                    a_recv.update(out)
-                # broadcast B_{lj} within each column j (root = device (l, j))
+                for group, root, cost in a_bc:
+                    a_recv.update(coll.broadcast(group, ashards[root], root, cost))
                 b_recv = {}
-                for j in range(q):
-                    root = mesh.rank(l, j)
-                    out = coll.broadcast(mesh.col_group(j), b.local(root), root)
-                    b_recv.update(out)
-                for rank in mesh.ranks:
+                for group, root, cost in b_bc:
+                    b_recv.update(coll.broadcast(group, bshards[root], root, cost))
+                for rank, dev, flops, scratch, out_shape in gemms:
                     ablk, bblk = a_recv[rank], b_recv[rank]
-                    with _scratch(buffers, rank, ops.nbytes(ablk) + ops.nbytes(bblk)):
-                        prod = ablk @ bblk
-                        mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[1]))
-                        c_shards[rank] = prod if c_shards[rank] is None else c_shards[rank] + prod
+                    if buffers is not None:
+                        buffers.hold("workspace", rank, scratch)
+                    try:
+                        acc = c_shards.get(rank)
+                        if acc is None:
+                            c_shards[rank] = ablk @ bblk
+                        elif pool is not None:
+                            tmp = pool.acquire(out_shape, plan.out_dtype)
+                            np.matmul(ablk, bblk, out=tmp)
+                            np.add(acc, tmp, out=acc)
+                            pool.release(tmp)
+                        else:
+                            c_shards[rank] = acc + (ablk @ bblk)
+                        dev.compute(flops)
+                    finally:
+                        if buffers is not None:
+                            buffers.release("workspace", rank, scratch)
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 
@@ -106,31 +353,47 @@ def summa_abt(
     N, K2 = b.global_shape
     if K != K2:
         raise ValueError(f"inner dims mismatch: A {a.global_shape} · Bᵀ of {b.global_shape}")
-    q = mesh.q
-    tr = mesh.sim.tracer
+    plan = _get_plan(mesh, "abt", a, b, _build_abt)
+    sim = mesh.sim
+    tr = sim.tracer
     traced = tr.enabled
+    pool = _pool_of(sim) if (_POOL_ENABLED and plan.numeric) else None
+    ashards, bshards = a.shards, b.shards
     c_shards = {}
-    with tr.span("summa_abt", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
-        for l in range(q):
-            with tr.span("summa_step", mesh.ranks, "summa", algo="abt", step=l) if traced else NULL_SPAN:
-                # broadcast B_{lj} within each column j (root = device (l, j))
+    with tr.span("summa_abt", mesh.ranks, "op", M=M, K=K, N=N, q=mesh.q) if traced else NULL_SPAN:
+        for l, (b_bc, rows) in enumerate(plan.steps):
+            with tr.span(
+                "summa_step", mesh.ranks, "summa", algo="abt", step=l
+            ) if traced else NULL_SPAN:
                 b_recv = {}
-                for j in range(q):
-                    root = mesh.rank(l, j)
-                    out = coll.broadcast(mesh.col_group(j), b.local(root), root)
-                    b_recv.update(out)
-                # every device forms A_{ij}·(B_{lj})ᵀ then rows reduce to column l
-                for i in range(q):
+                for group, root, cost in b_bc:
+                    b_recv.update(coll.broadcast(group, bshards[root], root, cost))
+                for gemms, (rgroup, root, rcost) in rows:
                     partials = {}
-                    for j in range(q):
-                        rank = mesh.rank(i, j)
-                        ablk, bblk = a.local(rank), b_recv[rank]
-                        with _scratch(buffers, rank, ops.nbytes(bblk)):
-                            partials[rank] = ablk @ ops.transpose(bblk)
-                            mesh.device(rank).compute(_gemm_flops(ablk.shape, bblk.shape[0]))
-                    root = mesh.rank(i, l)
-                    reduced = coll.reduce(mesh.row_group(i), partials, root)
-                    c_shards[root] = reduced[root]
+                    pooled = [] if pool is not None else None
+                    for rank, dev, flops, scratch, out_shape in gemms:
+                        ablk, bblk = ashards[rank], b_recv[rank]
+                        if buffers is not None:
+                            buffers.hold("workspace", rank, scratch)
+                        try:
+                            if pool is not None:
+                                tmp = pool.acquire(out_shape, plan.out_dtype)
+                                np.matmul(ablk, ops.transpose(bblk), out=tmp)
+                                partials[rank] = tmp
+                                pooled.append(tmp)
+                            else:
+                                partials[rank] = ablk @ ops.transpose(bblk)
+                            dev.compute(flops)
+                        finally:
+                            if buffers is not None:
+                                buffers.release("workspace", rank, scratch)
+                    reduced = coll.reduce(rgroup, partials, root, "sum", rcost)
+                    out = reduced[root]
+                    c_shards[root] = out
+                    if pooled:
+                        for tmp in pooled:
+                            if tmp is not out:
+                                pool.release(tmp)
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 
@@ -147,31 +410,47 @@ def summa_atb(
     K2, N = b.global_shape
     if K != K2:
         raise ValueError(f"inner dims mismatch: Aᵀ of {a.global_shape} · B {b.global_shape}")
-    q = mesh.q
-    tr = mesh.sim.tracer
+    plan = _get_plan(mesh, "atb", a, b, _build_atb)
+    sim = mesh.sim
+    tr = sim.tracer
     traced = tr.enabled
+    pool = _pool_of(sim) if (_POOL_ENABLED and plan.numeric) else None
+    ashards, bshards = a.shards, b.shards
     c_shards = {}
-    with tr.span("summa_atb", mesh.ranks, "op", M=M, K=K, N=N, q=q) if traced else NULL_SPAN:
-        for l in range(q):
-            with tr.span("summa_step", mesh.ranks, "summa", algo="atb", step=l) if traced else NULL_SPAN:
-                # broadcast A_{il} within each row i (root = device (i, l))
+    with tr.span("summa_atb", mesh.ranks, "op", M=M, K=K, N=N, q=mesh.q) if traced else NULL_SPAN:
+        for l, (a_bc, cols) in enumerate(plan.steps):
+            with tr.span(
+                "summa_step", mesh.ranks, "summa", algo="atb", step=l
+            ) if traced else NULL_SPAN:
                 a_recv = {}
-                for i in range(q):
-                    root = mesh.rank(i, l)
-                    out = coll.broadcast(mesh.row_group(i), a.local(root), root)
-                    a_recv.update(out)
-                # every device forms (A_{il})ᵀ·B_{ij} then columns reduce to row l
-                for j in range(q):
+                for group, root, cost in a_bc:
+                    a_recv.update(coll.broadcast(group, ashards[root], root, cost))
+                for gemms, (rgroup, root, rcost) in cols:
                     partials = {}
-                    for i in range(q):
-                        rank = mesh.rank(i, j)
-                        ablk, bblk = a_recv[rank], b.local(rank)
-                        with _scratch(buffers, rank, ops.nbytes(ablk)):
-                            partials[rank] = ops.transpose(ablk) @ bblk
-                            mesh.device(rank).compute(_gemm_flops((ablk.shape[1], ablk.shape[0]), bblk.shape[1]))
-                    root = mesh.rank(l, j)
-                    reduced = coll.reduce(mesh.col_group(j), partials, root)
-                    c_shards[root] = reduced[root]
+                    pooled = [] if pool is not None else None
+                    for rank, dev, flops, scratch, out_shape in gemms:
+                        ablk, bblk = a_recv[rank], bshards[rank]
+                        if buffers is not None:
+                            buffers.hold("workspace", rank, scratch)
+                        try:
+                            if pool is not None:
+                                tmp = pool.acquire(out_shape, plan.out_dtype)
+                                np.matmul(ops.transpose(ablk), bblk, out=tmp)
+                                partials[rank] = tmp
+                                pooled.append(tmp)
+                            else:
+                                partials[rank] = ops.transpose(ablk) @ bblk
+                            dev.compute(flops)
+                        finally:
+                            if buffers is not None:
+                                buffers.release("workspace", rank, scratch)
+                    reduced = coll.reduce(rgroup, partials, root, "sum", rcost)
+                    out = reduced[root]
+                    c_shards[root] = out
+                    if pooled:
+                        for tmp in pooled:
+                            if tmp is not out:
+                                pool.release(tmp)
     return DTensor(mesh, BLOCKED_2D, c_shards, (M, N))
 
 

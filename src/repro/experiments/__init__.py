@@ -7,12 +7,8 @@ come from strict-capacity dryrun searches.  See EXPERIMENTS.md for
 paper-vs-measured values.
 """
 
-from repro.experiments.runner import (
-    StemResult,
-    run_optimus_stem,
-    run_megatron_stem,
-)
 from repro.experiments import fig7, fig8, fig9, report, table1, table2, table3
+from repro.experiments.runner import StemResult, run_megatron_stem, run_optimus_stem
 
 __all__ = [
     "StemResult",

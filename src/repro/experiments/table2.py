@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.config import ModelConfig, table2_weak_scaling
+from repro.config import table2_weak_scaling
 from repro.experiments.runner import StemResult, run_megatron_stem, run_optimus_stem
 from repro.utils.tables import format_table
 

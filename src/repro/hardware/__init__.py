@@ -7,23 +7,23 @@ cluster as a `networkx` graph of GPUs, node-local buses and NICs, and derive
 (naive vs the paper's "bunched" arrangement, Fig. 8).
 """
 
-from repro.hardware.specs import (
-    DeviceSpec,
-    LinkSpec,
-    ClusterSpec,
-    RTX5000,
-    PCIE3_X16,
-    IB_EDR,
-    frontera_rtx,
-)
-from repro.hardware.topology import ClusterTopology
 from repro.hardware.arrangement import (
     Arrangement,
-    naive_arrangement,
     bunched_arrangement,
     linear_arrangement,
     make_arrangement,
+    naive_arrangement,
 )
+from repro.hardware.specs import (
+    IB_EDR,
+    PCIE3_X16,
+    RTX5000,
+    ClusterSpec,
+    DeviceSpec,
+    LinkSpec,
+    frontera_rtx,
+)
+from repro.hardware.topology import ClusterTopology
 
 __all__ = [
     "DeviceSpec",

@@ -13,7 +13,7 @@ the contention ("crowding") factor on its cable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import networkx as nx
 

@@ -19,11 +19,10 @@ full-batch step, which equals serial training.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
-from repro.backend import ops
 from repro.backend.shape_array import ShapeArray, is_shape_array
 from repro.comm import collectives as coll
 from repro.comm.group import ProcessGroup

@@ -9,15 +9,15 @@ parallel inputs), and activation recomputation under checkpointing doubles
 it again — the ``4(p−1)/p·bsh`` vs ``8(p−1)/p·bsh`` rows of Table 1.
 """
 
+from repro.megatron.embedding import LMHead1D, VocabParallelEmbedding
 from repro.megatron.layers import (
-    ColumnParallelLinear,
-    RowParallelLinear,
-    LayerNorm1D,
-    SelfAttention1D,
     MLP1D,
+    ColumnParallelLinear,
+    LayerNorm1D,
+    RowParallelLinear,
+    SelfAttention1D,
     TransformerLayer1D,
 )
-from repro.megatron.embedding import VocabParallelEmbedding, LMHead1D
 from repro.megatron.loss import VocabParallelCrossEntropy
 from repro.megatron.model import MegatronModel
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.backend import ops
 from repro.backend.shape_array import ShapeArray, is_shape_array

@@ -8,27 +8,27 @@ one local shard per rank; :mod:`repro.mesh.partition` converts between global
 numpy arrays and shards for tests and I/O.
 """
 
-from repro.mesh.mesh import Mesh
+from repro.mesh import partition
+from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import (
-    Layout,
     BLOCKED_2D,
-    ROW_BLOCKED,
     COL_BLOCKED,
     REPLICATED,
-    SHARDED_1D,
     REPLICATED_1D,
+    ROW_BLOCKED,
+    SHARDED_1D,
+    Layout,
 )
-from repro.mesh.dtensor import DTensor
-from repro.mesh import partition
+from repro.mesh.mesh import Mesh
 from repro.mesh.partition import (
-    distribute_blocked_2d,
     assemble_blocked_2d,
-    distribute_row_blocked,
     assemble_row_blocked,
-    distribute_replicated,
-    distribute_sharded_1d,
     assemble_sharded_1d,
+    distribute_blocked_2d,
+    distribute_replicated,
     distribute_replicated_1d,
+    distribute_row_blocked,
+    distribute_sharded_1d,
 )
 
 __all__ = [

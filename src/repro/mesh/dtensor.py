@@ -33,10 +33,11 @@ class DTensor:
         self.shards = dict(shards)
         self.global_shape = tuple(int(s) for s in global_shape)
         # strict mode (repro.check): validate the layout contract at every
-        # construction site.  The guard is two attribute reads, so the hot
-        # path stays free when the simulator has strict mode off.
+        # construction site.  ``is_enabled`` is the simulator's precomputed
+        # instrumentation flag, so with all checking off this guard costs two
+        # attribute reads and no property/descriptor calls.
         sim = getattr(owner, "sim", None)
-        if sim is not None and getattr(sim, "strict_invariants", False):
+        if sim is not None and sim.is_enabled and sim.strict_invariants:
             from repro.check.invariants import validate_dtensor
 
             validate_dtensor(self)

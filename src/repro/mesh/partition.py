@@ -16,7 +16,6 @@ from repro.comm.group import ProcessGroup
 from repro.mesh.dtensor import DTensor
 from repro.mesh.layouts import (
     BLOCKED_2D,
-    RANK0,
     REPLICATED,
     REPLICATED_1D,
     ROW0_BLOCKROWS,

@@ -4,8 +4,8 @@ globally-initialized parameter dict, which is what makes bit-level
 equivalence testing between the three implementations possible.
 """
 
+from repro.nn.gradcheck import check_grad, numerical_grad
 from repro.nn.init import init_transformer_params, spectral_scale
-from repro.nn.gradcheck import numerical_grad, check_grad
 
 __all__ = [
     "init_transformer_params",

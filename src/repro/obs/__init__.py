@@ -14,8 +14,8 @@ artifacts performance work is judged against:
 * :mod:`repro.obs.profile` — the ``python -m repro profile`` driver.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.comm_matrix import comm_matrix, render_comm_matrix
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.perfetto import chrome_trace, write_chrome_trace
 from repro.obs.report import memory_report, top_spans
 

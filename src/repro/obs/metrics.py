@@ -13,7 +13,7 @@ this file imported from the package would cycle.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 LabelKey = Tuple[str, Tuple[Tuple[str, object], ...]]
 

@@ -15,7 +15,7 @@ scale, which the benchmarks already cover.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.obs.comm_matrix import comm_matrix, render_comm_matrix, total as matrix_total
 from repro.obs.perfetto import write_chrome_trace
@@ -175,7 +175,8 @@ def render_profile(
     printer(
         f"matrix total {format_bytes(mat_total)} vs device counters "
         f"{format_bytes(dev_total)} "
-        f"({'reconciled' if abs(mat_total - dev_total) <= 1e-6 * max(dev_total, 1.0) else 'MISMATCH'})"
+        + ("(reconciled)" if abs(mat_total - dev_total) <= 1e-6 * max(dev_total, 1.0)
+           else "(MISMATCH)")
     )
     printer("")
 

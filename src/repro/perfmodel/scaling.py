@@ -3,7 +3,6 @@ efficiency definitions behind Fig. 7."""
 
 from __future__ import annotations
 
-from typing import Sequence
 
 
 def amdahl_speedup(serial_fraction: float, p: int) -> float:
@@ -24,7 +23,9 @@ def gustafson_speedup(serial_fraction: float, p: int) -> float:
     return serial_fraction + (1.0 - serial_fraction) * p
 
 
-def weak_scaling_efficiency(t_serial_unit: float, t_parallel: float, work_ratio: float, p: int) -> float:
+def weak_scaling_efficiency(
+    t_serial_unit: float, t_parallel: float, work_ratio: float, p: int
+) -> float:
     """Fig. 7 left: E = (work_ratio · T₁) / (p · T_p).
 
     ``t_serial_unit`` is the measured (or extrapolated) serial time of the

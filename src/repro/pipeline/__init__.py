@@ -21,12 +21,8 @@ training); the test suite checks both that and the schedule properties
 (bubble fraction, memory ordering).
 """
 
-from repro.pipeline.schedule import (
-    bubble_fraction,
-    gpipe_schedule,
-    one_f_one_b_schedule,
-)
 from repro.pipeline.engine import PipelineModel
+from repro.pipeline.schedule import bubble_fraction, gpipe_schedule, one_f_one_b_schedule
 
 __all__ = [
     "PipelineModel",

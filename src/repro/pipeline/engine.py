@@ -25,7 +25,6 @@ from repro.backend import ops
 from repro.backend.shape_array import ShapeArray, is_shape_array
 from repro.comm.collectives import send_recv
 from repro.config import ModelConfig
-from repro.perfmodel.costs import layer_macs_forward
 from repro.pipeline.schedule import (
     PipeOp,
     Schedule,

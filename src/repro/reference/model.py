@@ -21,10 +21,9 @@ Megatron (§2.2) and Optimus (§3.2.1) rely on.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.backend import ops
 from repro.config import ModelConfig

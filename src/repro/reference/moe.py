@@ -22,7 +22,6 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import ops
 from repro.reference import functional as F
 
 

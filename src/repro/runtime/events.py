@@ -127,17 +127,43 @@ class _SpanHandle:
         return False
 
 
-@dataclass
 class Tracer:
-    enabled: bool = False
-    events: List[TraceEvent] = field(default_factory=list)
-    spans: List[Span] = field(default_factory=list)
-    #: per-rank simulated clock source, wired up by the Simulator
-    clock_of: Optional[Callable[[int], float]] = None
+    """Event/span recorder; ``enabled`` toggles notify the owning simulator.
 
-    def __post_init__(self):
+    ``enabled`` is a property so that direct writes (``sim.tracer.enabled =
+    True``, common in tests) keep the simulator's precomputed
+    :attr:`~repro.runtime.simulator.Simulator.is_enabled` fast-path flag in
+    sync via the ``on_toggle`` callback.
+    """
+
+    __slots__ = ("_enabled", "events", "spans", "clock_of", "on_toggle", "_stacks", "_sid")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        events: Optional[List[TraceEvent]] = None,
+        spans: Optional[List[Span]] = None,
+        clock_of: Optional[Callable[[int], float]] = None,
+    ):
+        self._enabled = bool(enabled)
+        self.events: List[TraceEvent] = events if events is not None else []
+        self.spans: List[Span] = spans if spans is not None else []
+        #: per-rank simulated clock source, wired up by the Simulator
+        self.clock_of = clock_of
+        #: called after every ``enabled`` write (wired up by the Simulator)
+        self.on_toggle: Optional[Callable[[], None]] = None
         self._stacks: Dict[int, List[int]] = {}
         self._sid = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        if self.on_toggle is not None:
+            self.on_toggle()
 
     def _next_sid(self) -> int:
         self._sid += 1

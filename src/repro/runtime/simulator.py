@@ -17,9 +17,9 @@ execute numerically.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.hardware.arrangement import Arrangement, make_arrangement, linear_arrangement
+from repro.hardware.arrangement import Arrangement, linear_arrangement, make_arrangement
 from repro.hardware.specs import ClusterSpec, frontera_rtx
 from repro.hardware.topology import ClusterTopology
 from repro.obs.metrics import MetricsRegistry
@@ -64,8 +64,15 @@ class Simulator:
             strict_invariants = os.environ.get(
                 "REPRO_STRICT_INVARIANTS", ""
             ).lower() in ("1", "true", "yes", "on")
-        self.strict_invariants = bool(strict_invariants)
+        self._strict_invariants = bool(strict_invariants)
         self.tracer = Tracer(enabled=trace)
+        self.tracer.on_toggle = self._refresh_is_enabled
+        #: precomputed instrumentation flag: True iff *any* per-call checking
+        #: or tracing (strict invariants, span/event tracing) is active.  Hot
+        #: paths guard on this single attribute so that disabled-mode
+        #: overhead is two attribute reads (``sim.is_enabled``) — the
+        #: ``micro/instrumentation`` benchmark measures exactly this.
+        self.is_enabled = self._strict_invariants or trace
         self.metrics = MetricsRegistry()
         self.devices: List[SimDevice] = [
             SimDevice(
@@ -147,6 +154,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # correctness checking
     # ------------------------------------------------------------------
+    def _refresh_is_enabled(self) -> None:
+        self.is_enabled = self._strict_invariants or self.tracer.enabled
+
+    @property
+    def strict_invariants(self) -> bool:
+        return self._strict_invariants
+
+    @strict_invariants.setter
+    def strict_invariants(self, value: bool) -> None:
+        self._strict_invariants = bool(value)
+        self._refresh_is_enabled()
+
     def enable_strict_invariants(self) -> None:
         """Validate every subsequently-built DTensor against its layout."""
         self.strict_invariants = True

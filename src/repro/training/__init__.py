@@ -2,16 +2,16 @@
 character-level data, LR schedules, and a scheme-agnostic trainer loop."""
 
 from repro.training.amp import DynamicLossScaler, grads_finite, scale_grads
+from repro.training.data import LOREM_TEXT, CharCorpus, copy_task_batch, random_batch
 from repro.training.optim import (
     SGD,
     Adam,
-    SerialSGD,
     SerialAdam,
+    SerialSGD,
     clip_grads,
     grad_norm,
     make_immediate_updater,
 )
-from repro.training.data import random_batch, CharCorpus, copy_task_batch, LOREM_TEXT
 from repro.training.schedule import constant_lr, warmup_cosine
 from repro.training.trainer import Trainer
 

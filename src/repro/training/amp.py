@@ -16,7 +16,6 @@ occurred — the equivalence test asserts bit-equality of trajectories.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, List
 
 import numpy as np

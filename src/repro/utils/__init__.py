@@ -1,6 +1,6 @@
 """Small shared utilities (text tables, byte formatting, ASCII plots)."""
 
-from repro.utils.tables import format_table, format_bytes
 from repro.utils.asciiplot import line_plot
+from repro.utils.tables import format_bytes, format_table
 
 __all__ = ["format_table", "format_bytes", "line_plot"]

@@ -1,6 +1,5 @@
 """Post-run analysis utilities over simulator counters and traces."""
 
-import numpy as np
 import pytest
 
 from repro.config import tiny_config

@@ -5,9 +5,7 @@ import pytest
 
 from repro.backend import ops
 from repro.backend.dtypes import (
-    DType,
     as_dtype,
-    bool_,
     dtype_size,
     float32,
     float64,

@@ -57,7 +57,8 @@ class BufferMachine(RuleBasedStateMachine):
     @rule(region=_REGION)
     def trim(self, region):
         self.mgr.trim_region(region)
-        self.capacity[region] = max(self.usage[region], 0) if self.managed else self.capacity[region]
+        if self.managed:
+            self.capacity[region] = max(self.usage[region], 0)
         if not self.managed:
             self.capacity[region] = self.usage[region]
 

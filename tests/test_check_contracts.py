@@ -5,7 +5,6 @@ import pytest
 
 from repro.check import CollectiveContractChecker, ContractViolation, contract_checks
 from repro.comm import ProcessGroup, collectives as coll
-from repro.config import tiny_config
 from repro.core import OptimusModel
 from repro.mesh.mesh import Mesh
 from repro.nn import init_transformer_params

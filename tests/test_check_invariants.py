@@ -5,7 +5,6 @@ import pytest
 
 from repro.check import InvariantViolation, strict_mode, validate_dtensor
 from repro.comm.group import ProcessGroup
-from repro.config import tiny_config
 from repro.core import OptimusModel
 from repro.megatron import MegatronModel
 from repro.mesh.dtensor import DTensor

@@ -4,7 +4,6 @@ equivalence (serial / Optimus 2D / Megatron 1D)."""
 import numpy as np
 import pytest
 
-from repro.config import tiny_config
 from repro.core import OptimusModel
 from repro.core.cls_head import assemble_row0_blockrows, distribute_row0_blockrows
 from repro.megatron import MegatronModel

@@ -7,10 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.comm.cost import (
-    GroupCommModel,
     RING_EFFICIENCY_INTER,
     RING_EFFICIENCY_INTRA,
     TREE_EFFICIENCY,
+    GroupCommModel,
     _log2_stages,
 )
 from repro.hardware import (

@@ -8,7 +8,7 @@ import pytest
 from repro.config import tiny_config
 from repro.core import OptimusModel
 from repro.megatron import MegatronModel
-from repro.mesh import Mesh, assemble_blocked_2d
+from repro.mesh import assemble_blocked_2d
 from repro.mesh.layouts import BLOCKED_2D
 from repro.mesh.partition import assemble_row0_cols, assemble_sharded_1d
 from repro.nn import init_transformer_params

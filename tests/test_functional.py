@@ -1,12 +1,11 @@
 """Functional ops: forward values and analytic gradients vs finite diffs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend.shape_array import ShapeArray
-from repro.nn.gradcheck import check_grad, numerical_grad
+from repro.nn.gradcheck import check_grad
 from repro.reference import functional as F
 
 

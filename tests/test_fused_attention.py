@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend.shape_array import ShapeArray
-from repro.config import tiny_config
 from repro.core import OptimusModel
 from repro.megatron import MegatronModel
 from repro.mesh import assemble_blocked_2d
@@ -19,8 +18,8 @@ from repro.reference.attention import (
     attention_bwd,
     attention_fwd,
     fused_attention_bwd,
-    fused_attention_fwd,
     fused_attention_flops,
+    fused_attention_fwd,
 )
 from repro.runtime import Simulator
 from tests.conftest import make_mesh

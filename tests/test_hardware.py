@@ -4,8 +4,8 @@ import networkx as nx
 import pytest
 
 from repro.hardware import (
-    ClusterTopology,
     RTX5000,
+    ClusterTopology,
     bunched_arrangement,
     frontera_rtx,
     linear_arrangement,
@@ -13,7 +13,7 @@ from repro.hardware import (
     naive_arrangement,
 )
 from repro.hardware.arrangement import Arrangement, _tile_dims
-from repro.hardware.specs import ClusterSpec, DeviceSpec, LinkSpec
+from repro.hardware.specs import DeviceSpec, LinkSpec
 
 
 class TestSpecs:

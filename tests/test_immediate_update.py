@@ -5,7 +5,6 @@ Transformer layer, and then reset the parameter gradient buffer."
 """
 
 import numpy as np
-import pytest
 
 from repro.core import BufferManager, OptimusModel
 from repro.mesh.partition import assemble_any

@@ -11,9 +11,7 @@ from repro.megatron import (
     ColumnParallelLinear,
     LayerNorm1D,
     MegatronModel,
-    MLP1D,
     RowParallelLinear,
-    SelfAttention1D,
 )
 from repro.mesh.partition import (
     assemble_sharded_1d,

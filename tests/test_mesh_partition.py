@@ -9,9 +9,9 @@ from repro.backend.shape_array import ShapeArray
 from repro.comm.group import ProcessGroup
 from repro.mesh import (
     BLOCKED_2D,
-    Mesh,
     REPLICATED,
     ROW_BLOCKED,
+    Mesh,
     assemble_blocked_2d,
     assemble_row_blocked,
     assemble_sharded_1d,

@@ -5,14 +5,12 @@ import numpy as np
 import pytest
 
 from repro.backend.shape_array import ShapeArray
-from repro.config import tiny_config
 from repro.core import OptimusModel
-from repro.mesh import Mesh, assemble_blocked_2d
+from repro.mesh import assemble_blocked_2d
 from repro.mesh.layouts import BLOCKED_2D
 from repro.mesh.partition import assemble_row0_cols
 from repro.nn import init_transformer_params
 from repro.reference import ReferenceTransformer
-from repro.runtime import Simulator
 from tests.conftest import make_mesh
 
 

@@ -3,12 +3,11 @@ memory model vs the dryrun allocator, scaling laws."""
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import ModelConfig, tiny_config
+from repro.config import ModelConfig
 from repro.perfmodel import (
     amdahl_speedup,
     asymptotic_work_megatron,

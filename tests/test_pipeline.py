@@ -92,7 +92,6 @@ class TestLayerStack:
 
         # manual end-to-end using LayerStack for the middle
         from repro.reference import functional as F
-        from repro.backend import ops as O
 
         b = ids.shape[0]
         T = ids.size

@@ -12,9 +12,9 @@ from repro.mesh import assemble_blocked_2d
 from repro.nn import init_transformer_params
 from repro.reference import ReferenceTransformer
 from repro.training import (
+    SGD,
     Adam,
     CharCorpus,
-    SGD,
     SerialAdam,
     SerialSGD,
     Trainer,
