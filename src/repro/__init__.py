@@ -32,8 +32,15 @@ from repro.mesh import Mesh
 from repro.nn import init_transformer_params
 from repro.pipeline import PipelineModel
 from repro.reference import ReferenceTransformer
+from repro.resilience import FaultInjector, FaultSchedule, ResilientTrainer
 from repro.runtime import Simulator
-from repro.serialization import load_checkpoint, save_checkpoint
+from repro.serialization import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -53,5 +60,11 @@ __all__ = [
     "Simulator",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "CheckpointCorruptError",
+    "FaultSchedule",
+    "FaultInjector",
+    "ResilientTrainer",
     "__version__",
 ]

@@ -193,6 +193,31 @@ def main(argv=None) -> int:
         help="relative wall-clock regression threshold (default 0.20)",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign: crash/corrupt/retry/restart, "
+        "verify recovery reaches a bit-exact loss trajectory",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    chaos.add_argument(
+        "--quick", action="store_true", help="short campaign (CI smoke job)"
+    )
+    chaos.add_argument(
+        "--steps", type=int, default=None, help="training steps per run (>= 5)"
+    )
+    chaos.add_argument(
+        "--scheme", action="append", default=None, dest="schemes",
+        choices=("optimus", "megatron", "hybrid"),
+        help="restrict to a scheme (repeatable; default: all three)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="PATH", help="write campaign JSON report"
+    )
+    chaos.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write per-scheme Perfetto traces of the chaos runs",
+    )
+
     chk = sub.add_parser(
         "check",
         help="fuzzed Optimus/Megatron/serial equivalence under contract "
@@ -219,6 +244,17 @@ def main(argv=None) -> int:
             only=args.only,
             repeats=args.repeats,
             threshold=args.threshold,
+        )
+    if args.command == "chaos":
+        from repro.resilience.chaos import main as chaos_main
+
+        return chaos_main(
+            seed=args.seed,
+            quick=args.quick,
+            steps=args.steps,
+            schemes=args.schemes,
+            out=args.out,
+            trace_out=args.trace_out,
         )
     if args.command == "check":
         from repro.check.fuzz import main as check_main

@@ -36,6 +36,22 @@ from repro.comm.group import ProcessGroup
 Shards = Dict[int, object]
 Precost = Tuple[float, float, float]  # (dt, nbytes, weighted volume)
 
+_REDUCE_OPS = ("sum", "max")
+
+
+def _bad_reduce_op(op: str) -> ValueError:
+    return ValueError(
+        f"unsupported reduction op {op!r}: valid ops are {list(_REDUCE_OPS)}"
+    )
+
+
+# Every collective below starts with the same two inline guards, kept out of
+# helper functions because this is the simulator's hottest path:
+#   * reduce-op validation happens before any early return, so an invalid
+#     op raises even on size-1 groups (whose zero-copy path never combines);
+#   * the fault-injector check is two attribute reads and a None test —
+#     the entirety of the fault machinery's cost when injection is off.
+
 
 def _check_shards(group: ProcessGroup, shards: Shards, same_shape: bool = True) -> None:
     if set(shards) != set(group.ranks):
@@ -81,6 +97,11 @@ def broadcast(
     group: ProcessGroup, src, root: int, precost: Optional[Precost] = None
 ) -> Shards:
     """Copy the root rank's buffer ``src`` to every rank in the group."""
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "broadcast", group, lambda: broadcast(group, src, root, precost)
+        )
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
     if group.size == 1:
@@ -97,8 +118,8 @@ def broadcast(
 
 def _combine(group: ProcessGroup, shards: Shards, op: str):
     first = shards[group.ranks[0]]
-    if op not in ("sum", "max"):
-        raise ValueError(f"unsupported reduction op {op!r}")
+    if op not in _REDUCE_OPS:
+        raise _bad_reduce_op(op)
     if is_shape_array(first):
         acc = first
         for r in group.ranks[1:]:
@@ -130,6 +151,13 @@ def reduce(
     precost: Optional[Precost] = None,
 ) -> Shards:
     """Elementwise-reduce all buffers onto the root rank."""
+    if op not in _REDUCE_OPS:
+        raise _bad_reduce_op(op)
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "reduce", group, lambda: reduce(group, shards, root, op, precost)
+        )
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
     if group.size == 1:
@@ -153,6 +181,13 @@ def reduce(
 
 def all_reduce(group: ProcessGroup, shards: Shards, op: str = "sum") -> Shards:
     """Ring all-reduce: every rank ends with the elementwise reduction."""
+    if op not in _REDUCE_OPS:
+        raise _bad_reduce_op(op)
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "all_reduce", group, lambda: all_reduce(group, shards, op)
+        )
     if group.size == 1:
         _check_shards(group, shards)
         return dict(shards)  # zero-copy
@@ -171,6 +206,11 @@ def all_reduce(group: ProcessGroup, shards: Shards, op: str = "sum") -> Shards:
 
 def all_gather(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
     """Every rank receives the rank-order concatenation along ``axis``."""
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "all_gather", group, lambda: all_gather(group, shards, axis)
+        )
     _check_shards(group, shards, same_shape=False)
     if group.size == 1:
         return dict(shards)  # zero-copy: concatenation of one part is itself
@@ -189,6 +229,11 @@ def all_gather(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
 
 def reduce_scatter(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards:
     """Sum all buffers, then rank i keeps the i-th equal slice along ``axis``."""
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "reduce_scatter", group, lambda: reduce_scatter(group, shards, axis)
+        )
     _check_shards(group, shards)
     if group.size == 1:
         return dict(shards)  # zero-copy: sum of one shard, split into one piece
@@ -213,6 +258,11 @@ def reduce_scatter(group: ProcessGroup, shards: Shards, axis: int = 0) -> Shards
 
 def scatter(group: ProcessGroup, full, root: int, axis: int = 0) -> Shards:
     """Split the root's buffer into equal slices, one per rank."""
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "scatter", group, lambda: scatter(group, full, root, axis)
+        )
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
     if group.size == 1:
@@ -237,6 +287,11 @@ def scatter(group: ProcessGroup, full, root: int, axis: int = 0) -> Shards:
 
 def gather(group: ProcessGroup, shards: Shards, root: int, axis: int = 0) -> Shards:
     """Concatenate all buffers in rank order onto the root."""
+    inj = group.sim.fault_injector
+    if inj is not None and inj.armed:
+        return inj.on_collective(
+            "gather", group, lambda: gather(group, shards, root, axis)
+        )
     if root not in group.ranks:
         raise ValueError(f"root {root} not in group {group.ranks}")
     _check_shards(group, shards, same_shape=False)

@@ -154,6 +154,20 @@ class DataParallel:
         for model in self.replicas:
             model.zero_grads()
 
+    def drop_caches(self) -> None:
+        for model in self.replicas:
+            model.drop_caches()
+
+    def gathered_parameters(self) -> Dict[str, np.ndarray]:
+        """Global parameter arrays from replica 0 (replicas are identical);
+        the checkpoint hook used by :func:`repro.serialization.gather_parameters`."""
+        from repro.mesh.partition import assemble_any
+
+        return {
+            p.name: np.asarray(assemble_any(p.data))
+            for p in self.replicas[0].parameters()
+        }
+
     def replica(self, r: int) -> OptimusModel:
         return self.replicas[r]
 

@@ -21,6 +21,7 @@ from repro.mesh.layouts import (
 )
 from repro.mesh.mesh import Mesh
 from repro.mesh.partition import (
+    assemble_any,
     assemble_blocked_2d,
     assemble_row_blocked,
     assemble_sharded_1d,
@@ -29,6 +30,7 @@ from repro.mesh.partition import (
     distribute_replicated_1d,
     distribute_row_blocked,
     distribute_sharded_1d,
+    scatter_any,
 )
 
 __all__ = [
@@ -50,4 +52,6 @@ __all__ = [
     "distribute_sharded_1d",
     "assemble_sharded_1d",
     "distribute_replicated_1d",
+    "assemble_any",
+    "scatter_any",
 ]

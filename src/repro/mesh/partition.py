@@ -136,6 +136,73 @@ def assemble_any(dt: DTensor) -> object:
     raise ValueError(f"cannot assemble layout {dt.layout}")
 
 
+def scatter_any(dt: DTensor, a) -> None:
+    """Write a global array into an existing DTensor's shards, in place.
+
+    The exact inverse of :func:`assemble_any`: each shard receives the slice
+    of ``a`` it owns under ``dt.layout``, copied elementwise into the shard's
+    existing buffer (so every alias of the shard — optimizer state, model
+    references — observes the restored values).  Like the ``distribute_*``
+    helpers this models checkpoint *restore placement* and charges no
+    communication.  Block boundaries are derived from the actual shard
+    shapes, so ragged ``blocked_2d`` row blocks (MoE) restore correctly.
+    """
+    from repro.backend.shape_array import is_shape_array
+
+    a = np.asarray(a)
+    if tuple(a.shape) != dt.global_shape:
+        raise ValueError(
+            f"global array shape {a.shape} does not match DTensor "
+            f"global_shape {dt.global_shape}"
+        )
+    if any(is_shape_array(s) for s in dt.shards.values()):
+        raise ValueError("cannot scatter real values into dryrun placeholders")
+    kind = dt.layout.kind
+    if kind == "blocked_2d":
+        mesh: Mesh = dt.owner
+        q = mesh.q
+        w = _check_divisible(a.shape[1], q, "cols")
+        row_off = 0
+        for i in range(q):
+            h = dt.shards[mesh.rank(i, 0)].shape[0]
+            for j in range(q):
+                dt.shards[mesh.rank(i, j)][...] = a[
+                    row_off : row_off + h, j * w : (j + 1) * w
+                ]
+            row_off += h
+        if row_off != a.shape[0]:
+            raise ValueError(f"row blocks cover {row_off} of {a.shape[0]} rows")
+    elif kind == "row_blocked":
+        mesh = dt.owner
+        q = mesh.q
+        for i in range(q):
+            block = a[block_slice(a.shape[0], q, i)]
+            for j in range(q):
+                dt.shards[mesh.rank(i, j)][...] = block
+    elif kind in ("row0_cols", "row0_blockrows"):
+        mesh = dt.owner
+        off = 0
+        for j in range(mesh.q):
+            shard = dt.shards[mesh.rank(0, j)]
+            shard[...] = a[off : off + shard.shape[0]]
+            off += shard.shape[0]
+    elif kind == "sharded_1d":
+        axis = dt.layout.axis
+        off = 0
+        for r in dt.owner.ranks:
+            shard = dt.shards[r]
+            n = shard.shape[axis]
+            index = [slice(None)] * a.ndim
+            index[axis] = slice(off, off + n)
+            shard[...] = a[tuple(index)]
+            off += n
+    elif kind in ("replicated", "replicated_1d", "rank0"):
+        for shard in dt.shards.values():
+            shard[...] = a
+    else:
+        raise ValueError(f"cannot scatter layout {dt.layout}")
+
+
 def distribute_replicated(mesh: Mesh, a) -> DTensor:
     shards = {r: (a if r == 0 else _replica(a)) for r in mesh.ranks}
     return DTensor(mesh, REPLICATED, shards, a.shape)

@@ -97,7 +97,13 @@ def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
                 {"ph": "f", "bp": "e", "id": flow_id, "name": "p2p", "cat": "p2p",
                  "pid": dst, "tid": 1, "ts": e.t_end * _US}
             )
-        else:  # grouped collective — one slice per participant
+        else:  # grouped event (collective or resilience) — one slice per rank
+            cat = (
+                "resilience"
+                if e.kind in ("fault", "checkpoint", "recovery")
+                else "collective"
+            )
+            name = f"{e.kind}:{e.label}" if cat == "resilience" and e.label else e.kind
             args = {
                 "nbytes": e.nbytes,
                 "weighted": e.weighted,
@@ -108,8 +114,8 @@ def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
                 events.append(
                     {
                         "ph": "X",
-                        "name": e.kind,
-                        "cat": "collective",
+                        "name": name,
+                        "cat": cat,
                         "pid": pid,
                         "tid": 0,
                         "ts": e.t_start * _US,

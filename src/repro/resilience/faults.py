@@ -1,0 +1,188 @@
+"""The fault model: what can go wrong, and when.
+
+Faults are declarative — a :class:`FaultSchedule` is a list of fault specs,
+each pinned to a training step (and, for collective-level faults, to the
+n-th collective call of that step).  The injector consults the schedule at
+well-defined points (step boundaries, collective entry, after backward),
+so a given (schedule, seed) pair replays the exact same fault sequence on
+every run: chaos campaigns are deterministic by construction.
+
+The menu mirrors what operators of week-long jobs actually see:
+
+* :class:`RankCrash` — a device dies at a step boundary (fail-stop);
+  recovery is checkpoint/restart.
+* :class:`TransientCollectiveFault` — a link flap: a collective attempt
+  times out (``mode="timeout"``) or delivers garbage that fails the
+  transport checksum and is discarded (``mode="flaky"``); recovery is
+  retry with exponential backoff, every attempt charged to the simulated
+  clock (and, for flaky attempts, to the byte counters — the wire moved
+  the data even though it was thrown away).
+* :class:`MessageCorruption` — a corrupt payload that *passes* transport
+  checks: one rank's output buffer gets a flipped high-exponent bit.  Only
+  the end-to-end guards (non-finite loss, gradient-norm ceiling) can catch
+  it; recovery is step re-execution.
+* :class:`Straggler` — one rank computes ``factor×`` slower for a window
+  of steps.  No recovery needed; the BSP clock prices the skew (everyone
+  waits at the next collective), making straggler cost measurable.
+* :class:`GradientSDC` — a bit flip lands directly in a gradient shard
+  after backward (memory corruption rather than link corruption);
+  detected by the gradient guards, recovered by step re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class RankCrashError(RuntimeError):
+    """A simulated rank died (fail-stop)."""
+
+    def __init__(self, rank: int, step: int):
+        self.rank = rank
+        self.step = step
+        super().__init__(f"rank {rank} crashed at step {step}")
+
+
+class CollectiveTimeoutError(RuntimeError):
+    """A collective kept failing past the retry budget."""
+
+
+class SDCDetectedError(RuntimeError):
+    """A gradient guard tripped: silent data corruption detected."""
+
+
+@dataclass
+class RankCrash:
+    step: int
+    rank: int = 0
+    consumed: bool = False
+
+
+@dataclass
+class TransientCollectiveFault:
+    """The ``index``-th collective of kind ``kind`` in ``step`` fails
+    ``fails`` times before succeeding."""
+
+    step: int
+    index: int = 0
+    kind: str = "any"
+    fails: int = 1
+    mode: str = "flaky"  # "flaky": bytes move, result discarded; "timeout": no bytes
+    consumed: bool = False
+
+    def __post_init__(self):
+        if self.mode not in ("flaky", "timeout"):
+            raise ValueError(f"unknown transient fault mode {self.mode!r}")
+
+
+@dataclass
+class MessageCorruption:
+    """Flip an exponent bit in one rank's output of a specific collective."""
+
+    step: int
+    index: int = 0
+    kind: str = "any"
+    victim_rank: Optional[int] = None  # None: seeded choice among receivers
+    bit: int = 62  # exponent MSB of float64; clamped for narrower dtypes
+    consumed: bool = False
+
+
+@dataclass
+class Straggler:
+    """Rank ``rank`` computes ``factor×`` slower during the step window."""
+
+    rank: int
+    start_step: int
+    num_steps: int = 1
+    factor: float = 2.0
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step < self.start_step + self.num_steps
+
+
+@dataclass
+class GradientSDC:
+    """Flip an exponent bit in a gradient shard right after backward."""
+
+    step: int
+    param: Optional[str] = None  # None: seeded choice
+    bit: int = 62
+    consumed: bool = False
+
+
+@dataclass
+class FaultSchedule:
+    crashes: List[RankCrash] = field(default_factory=list)
+    transients: List[TransientCollectiveFault] = field(default_factory=list)
+    corruptions: List[MessageCorruption] = field(default_factory=list)
+    stragglers: List[Straggler] = field(default_factory=list)
+    sdc: List[GradientSDC] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, *faults) -> "FaultSchedule":
+        """Build a schedule from a flat list of fault specs."""
+        sched = cls()
+        for f in faults:
+            if isinstance(f, RankCrash):
+                sched.crashes.append(f)
+            elif isinstance(f, TransientCollectiveFault):
+                sched.transients.append(f)
+            elif isinstance(f, MessageCorruption):
+                sched.corruptions.append(f)
+            elif isinstance(f, Straggler):
+                sched.stragglers.append(f)
+            elif isinstance(f, GradientSDC):
+                sched.sdc.append(f)
+            else:
+                raise TypeError(f"not a fault spec: {f!r}")
+        return sched
+
+    def all_faults(self) -> list:
+        return [
+            *self.crashes, *self.transients, *self.corruptions,
+            *self.stragglers, *self.sdc,
+        ]
+
+    # matching ----------------------------------------------------------
+    def match_crash(self, step: int) -> Optional[RankCrash]:
+        for f in self.crashes:
+            if not f.consumed and f.step == step:
+                return f
+        return None
+
+    @staticmethod
+    def _collective_match(f, step: int, index: int, kind_index: int, kind: str) -> bool:
+        """``f.index`` counts all collectives of the step when ``f.kind`` is
+        "any", else only collectives of ``f.kind`` — "the first reduce of
+        step 3" is robust to unrelated collectives interleaving."""
+        if f.consumed or f.step != step:
+            return False
+        if f.kind == "any":
+            return f.index == index
+        return f.kind == kind and f.index == kind_index
+
+    def match_transient(
+        self, step: int, index: int, kind_index: int, kind: str
+    ) -> Optional[TransientCollectiveFault]:
+        for f in self.transients:
+            if self._collective_match(f, step, index, kind_index, kind):
+                return f
+        return None
+
+    def match_corruption(
+        self, step: int, index: int, kind_index: int, kind: str
+    ) -> Optional[MessageCorruption]:
+        for f in self.corruptions:
+            if self._collective_match(f, step, index, kind_index, kind):
+                return f
+        return None
+
+    def match_sdc(self, step: int) -> Optional[GradientSDC]:
+        for f in self.sdc:
+            if not f.consumed and f.step == step:
+                return f
+        return None
+
+    def stragglers_active(self, step: int) -> List[Straggler]:
+        return [s for s in self.stragglers if s.active(step)]

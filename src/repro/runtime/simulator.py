@@ -74,6 +74,11 @@ class Simulator:
         #: ``micro/instrumentation`` benchmark measures exactly this.
         self.is_enabled = self._strict_invariants or trace
         self.metrics = MetricsRegistry()
+        #: fault injector (repro.resilience), or None.  Collectives check
+        #: this single attribute; when None (the default) the fault
+        #: machinery costs one attribute read and contributes nothing to
+        #: numerics, clocks, byte counters or traces.
+        self.fault_injector = None
         self.devices: List[SimDevice] = [
             SimDevice(
                 rank=r,

@@ -7,21 +7,48 @@ pipeline — at any device count whose divisibility constraints it satisfies.
 
 Uses ``numpy.savez`` (one array per parameter) plus a small JSON metadata
 blob (model config, step counter, user extras).
+
+Durability guarantees (the resilience subsystem depends on these):
+
+* **Atomic writes** — checkpoints are written to a temporary file in the
+  destination directory and moved into place with :func:`os.replace`, so a
+  crash mid-write can never leave a half-written file under the final name.
+* **Integrity digest** — the metadata blob embeds a sha256 over every
+  array's name, dtype, shape and raw bytes; :func:`load_checkpoint`
+  recomputes and verifies it, raising :class:`CheckpointCorruptError` on
+  any mismatch (and wrapping truncated-zip/JSON failures in the same
+  exception) instead of surfacing a raw numpy/zipfile error.
+
+Beyond bare parameters, :func:`save_training_checkpoint` captures the
+*full* training state of a :class:`~repro.training.trainer.Trainer` —
+optimizer moments (as global arrays, layout-independent like the
+parameters), LR-schedule step, AMP loss scale, the data-iterator cursor
+and RNG state — and :func:`apply_training_state` restores all of it, so a
+resumed run continues the exact trajectory of an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict
-from typing import Dict, Optional, Tuple
+import os
+import tempfile
+import zipfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import ModelConfig
-from repro.core.param import DistModule
-from repro.mesh.partition import assemble_any
+from repro.core.param import DistModule, DistParam
+from repro.mesh.partition import assemble_any, scatter_any
 
 _META_KEY = "__repro_meta__"
+_OPT_PREFIX = "__state__opt."
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file is truncated, corrupt, or fails digest verification."""
 
 
 def gather_parameters(model) -> Dict[str, np.ndarray]:
@@ -30,47 +57,257 @@ def gather_parameters(model) -> Dict[str, np.ndarray]:
     Accepts a :class:`~repro.core.param.DistModule` (Optimus / Megatron),
     a :class:`~repro.pipeline.engine.PipelineModel` or
     :class:`~repro.reference.model.ReferenceTransformer` (whose params are
-    already global dicts), or a plain name→array dict.
+    already global dicts), any object exposing ``gathered_parameters()``
+    (e.g. a data-parallel wrapper that gathers from one replica), or a
+    plain name→array dict.
     """
     if isinstance(model, DistModule):
         return {p.name: np.asarray(assemble_any(p.data)) for p in model.parameters()}
+    gathered = getattr(model, "gathered_parameters", None)
+    if callable(gathered):
+        return {k: np.asarray(v) for k, v in gathered().items()}
     params = getattr(model, "params", model)
     if not isinstance(params, dict):
         raise TypeError(f"cannot gather parameters from {type(model).__name__}")
     return {k: np.asarray(v) for k, v in params.items()}
 
 
+def assign_parameters(model, params: Dict[str, np.ndarray]) -> None:
+    """Write global parameter values into an existing model, in place.
+
+    The restore counterpart of :func:`gather_parameters`: distributed
+    parameters are re-scattered shard by shard (every replica of a name is
+    restored, so data-parallel wrappers work unchanged); serial models get
+    elementwise copies into their global arrays.
+    """
+    plist = getattr(model, "parameters", None)
+    if callable(plist):
+        dist_params = [p for p in plist() if isinstance(p, DistParam)]
+        if dist_params:
+            for p in dist_params:
+                if p.name not in params:
+                    raise KeyError(f"checkpoint is missing parameter {p.name!r}")
+                scatter_any(p.data, params[p.name])
+            return
+    model_params = getattr(model, "params", None)
+    if not isinstance(model_params, dict):
+        raise TypeError(f"cannot assign parameters into {type(model).__name__}")
+    for name, arr in model_params.items():
+        if name not in params:
+            raise KeyError(f"checkpoint is missing parameter {name!r}")
+        np.asarray(arr)[...] = params[name]
+
+
+# ----------------------------------------------------------------------
+# integrity + atomicity
+# ----------------------------------------------------------------------
+def _digest_arrays(arrays: Dict[str, np.ndarray]) -> str:
+    """sha256 over every array's name, dtype, shape and raw bytes."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(np.asarray(arrays[name]))
+        h.update(name.encode())
+        h.update(b"\0")
+        h.update(str(a.dtype).encode())
+        h.update(b"\0")
+        h.update(repr(a.shape).encode())
+        h.update(b"\0")
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _normalize_path(path) -> str:
+    path = os.fspath(path)
+    # np.savez appends ".npz" to extension-less paths; do it eagerly so the
+    # atomic rename targets the name the caller will load from
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _atomic_savez(path: str, arrays: Dict[str, object]) -> None:
+    """Write an ``.npz`` to a temp file, then :func:`os.replace` into place."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _write_checkpoint(path, arrays: Dict[str, np.ndarray], meta: dict) -> str:
+    path = _normalize_path(path)
+    meta = dict(meta)
+    meta["sha256"] = _digest_arrays(arrays)
+    blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    _atomic_savez(path, {**arrays, _META_KEY: blob})
+    return path
+
+
+# ----------------------------------------------------------------------
+# parameter checkpoints
+# ----------------------------------------------------------------------
 def save_checkpoint(
     path,
     model,
     config: Optional[ModelConfig] = None,
     step: int = 0,
     extra: Optional[dict] = None,
-) -> None:
-    """Write a checkpoint: global parameters + JSON metadata."""
+) -> str:
+    """Write a checkpoint: global parameters + JSON metadata.
+
+    Returns the path actually written (with the ``.npz`` suffix applied).
+    """
     params = gather_parameters(model)
     meta = {"step": int(step), "extra": extra or {}}
     if config is None:
         config = getattr(model, "cfg", None)
     if config is not None:
         meta["config"] = asdict(config)
-    np.savez(
-        path,
-        **params,
-        **{_META_KEY: np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)},
-    )
+    return _write_checkpoint(path, params, meta)
+
+
+def _read_arrays(path) -> Tuple[Dict[str, np.ndarray], dict]:
+    try:
+        with np.load(path) as data:
+            meta = {}
+            arrays = {}
+            for key in data.files:
+                if key == _META_KEY:
+                    meta = json.loads(bytes(data[key]).decode())
+                else:
+                    arrays[key] = data[key]
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as e:
+        # truncated files and bad CRCs raise BadZipFile (a plain Exception,
+        # not an OSError); truncated .npy entries inside an intact zip raise
+        # ValueError/EOFError from numpy's header parser
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable (truncated or corrupt): {e}"
+        ) from e
+    expected = meta.get("sha256")
+    if expected is not None and _digest_arrays(arrays) != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} failed sha256 verification: contents do not "
+            f"match the digest recorded at save time"
+        )
+    return arrays, meta
 
 
 def load_checkpoint(path) -> Tuple[Dict[str, np.ndarray], dict]:
-    """Read a checkpoint back as (global params dict, metadata dict)."""
-    with np.load(path) as data:
-        meta = {}
-        params = {}
-        for key in data.files:
-            if key == _META_KEY:
-                meta = json.loads(bytes(data[key]).decode())
-            else:
-                params[key] = data[key]
+    """Read a checkpoint back as (global params dict, metadata dict).
+
+    Verifies the embedded sha256 digest (when present) and raises
+    :class:`CheckpointCorruptError` on truncated or corrupt files.
+    """
+    arrays, meta = _read_arrays(path)
+    params = {k: v for k, v in arrays.items() if not k.startswith(_OPT_PREFIX)}
     if "config" in meta:
         meta["config"] = ModelConfig(**meta["config"])
     return params, meta
+
+
+# ----------------------------------------------------------------------
+# full training state
+# ----------------------------------------------------------------------
+@dataclass
+class TrainingState:
+    """Everything needed to continue a training run bit-exactly."""
+
+    params: Dict[str, np.ndarray]
+    meta: dict
+    opt_slots: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def step(self) -> int:
+        return int(self.meta.get("step", 0))
+
+    @property
+    def config(self) -> Optional[ModelConfig]:
+        return self.meta.get("config")
+
+    @property
+    def trainer_state(self) -> dict:
+        return self.meta.get("trainer", {})
+
+
+def save_training_checkpoint(path, trainer, extra: Optional[dict] = None) -> str:
+    """Checkpoint a trainer's *complete* state: parameters, optimizer
+    moments, step counter, LR, AMP loss scale, data cursor, RNG state.
+
+    Returns the path actually written.
+    """
+    arrays: Dict[str, np.ndarray] = dict(gather_parameters(trainer.model))
+    optimizer = trainer.optimizer
+    slots = getattr(optimizer, "state_slots", None)
+    if callable(slots):
+        for name, slot_arrays in slots().items():
+            for k, a in enumerate(slot_arrays):
+                arrays[f"{_OPT_PREFIX}{k}.{name}"] = np.asarray(a)
+    meta = {
+        "step": int(trainer.step),
+        "trainer": trainer.state_dict(),
+        "extra": extra or {},
+    }
+    config = getattr(trainer.model, "cfg", None)
+    if config is not None:
+        meta["config"] = asdict(config)
+    return _write_checkpoint(path, arrays, meta)
+
+
+def load_training_checkpoint(path) -> TrainingState:
+    """Read back a full-state checkpoint written by
+    :func:`save_training_checkpoint` (plain parameter checkpoints load too,
+    with empty optimizer state)."""
+    arrays, meta = _read_arrays(path)
+    params: Dict[str, np.ndarray] = {}
+    opt_slots: Dict[str, List[np.ndarray]] = {}
+    slot_keys: Dict[str, Dict[int, np.ndarray]] = {}
+    for key, arr in arrays.items():
+        if key.startswith(_OPT_PREFIX):
+            slot, name = key[len(_OPT_PREFIX) :].split(".", 1)
+            slot_keys.setdefault(name, {})[int(slot)] = arr
+        else:
+            params[key] = arr
+    for name, by_slot in slot_keys.items():
+        opt_slots[name] = [by_slot[k] for k in sorted(by_slot)]
+    if "config" in meta:
+        meta["config"] = ModelConfig(**meta["config"])
+    return TrainingState(params=params, meta=meta, opt_slots=opt_slots)
+
+
+def apply_training_state(trainer, state: TrainingState) -> None:
+    """Restore a :class:`TrainingState` into a trainer, in place.
+
+    Parameters are re-scattered into the model, optimizer moments and the
+    (t, lr) hyper-state reload, and the trainer's step counter, last finite
+    loss, AMP loss scale, data-iterator cursor and RNG state all rewind to
+    the values captured at save time.
+    """
+    assign_parameters(trainer.model, state.params)
+    ts = state.trainer_state
+    optimizer = trainer.optimizer
+    if state.opt_slots and callable(getattr(optimizer, "load_state_slots", None)):
+        optimizer.load_state_slots(state.opt_slots)
+    if "optimizer" in ts and callable(getattr(optimizer, "load_state_dict", None)):
+        optimizer.load_state_dict(ts["optimizer"])
+    trainer.step = state.step
+    trainer._last_finite_loss = ts.get("last_finite_loss")
+    scaler = getattr(trainer, "scaler", None)
+    if scaler is not None and "scaler" in ts:
+        scaler.load_state(ts["scaler"])
+    if "data" in ts and callable(getattr(trainer.batches, "load_state", None)):
+        trainer.batches.load_state(ts["data"])
+    rng = getattr(trainer, "rng", None)
+    if rng is not None and "rng" in ts:
+        rng.bit_generator.state = ts["rng"]

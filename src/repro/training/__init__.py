@@ -2,7 +2,13 @@
 character-level data, LR schedules, and a scheme-agnostic trainer loop."""
 
 from repro.training.amp import DynamicLossScaler, grads_finite, scale_grads
-from repro.training.data import LOREM_TEXT, CharCorpus, copy_task_batch, random_batch
+from repro.training.data import (
+    LOREM_TEXT,
+    BatchStream,
+    CharCorpus,
+    copy_task_batch,
+    random_batch,
+)
 from repro.training.optim import (
     SGD,
     Adam,
@@ -13,7 +19,13 @@ from repro.training.optim import (
     make_immediate_updater,
 )
 from repro.training.schedule import constant_lr, warmup_cosine
-from repro.training.trainer import Trainer
+from repro.training.trainer import (
+    SerialModelAdapter,
+    SerialOptimizerAdapter,
+    Trainer,
+    TrainingDivergedError,
+    make_serial_trainer,
+)
 
 __all__ = [
     "DynamicLossScaler",
@@ -27,10 +39,15 @@ __all__ = [
     "clip_grads",
     "make_immediate_updater",
     "random_batch",
+    "BatchStream",
     "CharCorpus",
     "copy_task_batch",
     "LOREM_TEXT",
     "constant_lr",
     "warmup_cosine",
     "Trainer",
+    "TrainingDivergedError",
+    "SerialModelAdapter",
+    "SerialOptimizerAdapter",
+    "make_serial_trainer",
 ]

@@ -120,3 +120,9 @@ class DynamicLossScaler:
             "good_steps": self._good_steps,
             "num_overflows": self.num_overflows,
         }
+
+    def load_state(self, d: dict) -> None:
+        """Restore :meth:`state` output (checkpoint resume)."""
+        self.scale = float(d["scale"])
+        self._good_steps = int(d["good_steps"])
+        self.num_overflows = int(d["num_overflows"])

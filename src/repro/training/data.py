@@ -48,6 +48,53 @@ def copy_task_batch(
     return ids, ids.copy()
 
 
+class BatchStream:
+    """A resumable batch iterator: ``fn(seed, cursor)`` indexed by a cursor.
+
+    Plain generators cannot be checkpointed; a :class:`BatchStream` makes
+    the data position part of the training state — :meth:`state` captures
+    the (seed, cursor) pair and :meth:`load_state` rewinds to it, so a
+    restarted run replays exactly the batches the uninterrupted run saw.
+    """
+
+    def __init__(self, fn, seed: int = 0, cursor: int = 0):
+        self.fn = fn
+        self.seed = seed
+        self.cursor = cursor
+
+    def __iter__(self) -> "BatchStream":
+        return self
+
+    def __next__(self) -> Tuple[np.ndarray, np.ndarray]:
+        batch = self.fn(self.seed, self.cursor)
+        self.cursor += 1
+        return batch
+
+    def state(self) -> dict:
+        return {"seed": self.seed, "cursor": self.cursor}
+
+    def load_state(self, d: dict) -> None:
+        self.seed = int(d["seed"])
+        self.cursor = int(d["cursor"])
+
+    # common constructions -------------------------------------------------
+    @classmethod
+    def random(cls, cfg: ModelConfig, batch_size: int, seed: int = 0) -> "BatchStream":
+        return cls(lambda s, k: random_batch(cfg, batch_size, seed=s + k), seed=seed)
+
+    @classmethod
+    def copy_task(cls, cfg: ModelConfig, batch_size: int, seed: int = 0) -> "BatchStream":
+        return cls(lambda s, k: copy_task_batch(cfg, batch_size, seed=s + k), seed=seed)
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: "CharCorpus", batch_size: int, seq_len: int, seed: int = 0
+    ) -> "BatchStream":
+        return cls(
+            lambda s, k: corpus.batch(batch_size, seq_len, seed=s + k), seed=seed
+        )
+
+
 class CharCorpus:
     """Byte-level next-character language modelling on a fixed text.
 

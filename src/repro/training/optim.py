@@ -86,6 +86,64 @@ class _DistOptimizerBase:
     def _flops_per_element(self) -> float:  # pragma: no cover
         return 2.0
 
+    # checkpoint support -------------------------------------------------
+    def state_dict(self) -> dict:
+        """Scalar hyper-state (step counter, current LR)."""
+        return {"t": self.t, "lr": self.lr}
+
+    def load_state_dict(self, d: dict) -> None:
+        self.t = int(d["t"])
+        self.lr = float(d["lr"])
+
+    def state_slots(self) -> Dict[str, List[np.ndarray]]:
+        """Per-parameter state arrays (momentum, Adam m/v) as *global*
+        arrays, assembled exactly like the parameters themselves — so
+        optimizer state, like parameters, checkpoints layout-independently.
+
+        Data-parallel replicas share parameter names with bit-identical
+        state; the first occurrence wins.
+        """
+        from repro.mesh.dtensor import DTensor
+        from repro.mesh.partition import assemble_any
+
+        out: Dict[str, List[np.ndarray]] = {}
+        for p in self.params:
+            if p.name in out:
+                continue  # replicated copy (data parallelism)
+            slots = self._state[id(p)]["slots"]
+            if any(is_shape_array(s) for slot in slots for s in slot.values()):
+                raise ValueError("cannot checkpoint optimizer state in dryrun mode")
+            out[p.name] = [
+                np.asarray(
+                    assemble_any(
+                        DTensor(p.data.owner, p.data.layout, slot, p.data.global_shape)
+                    )
+                )
+                for slot in slots
+            ]
+        return out
+
+    def load_state_slots(self, slots: Dict[str, List[np.ndarray]]) -> None:
+        """Restore :meth:`state_slots` output in place (every replica of a
+        shared name is restored)."""
+        from repro.mesh.dtensor import DTensor
+        from repro.mesh.partition import scatter_any
+
+        for p in self.params:
+            if p.name not in slots:
+                continue
+            local = self._state[id(p)]["slots"]
+            arrays = slots[p.name]
+            if len(arrays) != len(local):
+                raise ValueError(
+                    f"optimizer state for {p.name!r} has {len(arrays)} slots, "
+                    f"expected {len(local)}"
+                )
+            for slot, a in zip(local, arrays):
+                scatter_any(
+                    DTensor(p.data.owner, p.data.layout, slot, p.data.global_shape), a
+                )
+
 
 class SGD(_DistOptimizerBase):
     """Plain / momentum SGD with optional decoupled weight decay.
@@ -204,6 +262,24 @@ class SerialSGD:
                 g = self._buf[name]
             p -= self.lr * g
 
+    def state_dict(self) -> dict:
+        return {"t": 0, "lr": self.lr}
+
+    def load_state_dict(self, d: dict) -> None:
+        self.lr = float(d["lr"])
+
+    def state_slots(self) -> Dict[str, List[np.ndarray]]:
+        if self._buf is None:
+            return {}
+        return {name: [np.array(buf, copy=True)] for name, buf in self._buf.items()}
+
+    def load_state_slots(self, slots: Dict[str, List[np.ndarray]]) -> None:
+        if self._buf is None:
+            return
+        for name, arrays in slots.items():
+            if name in self._buf:
+                self._buf[name][...] = arrays[0]
+
 
 class SerialAdam:
     def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
@@ -230,6 +306,25 @@ class SerialAdam:
             mhat = self._m[name] / (1 - b1**self.t)
             vhat = self._v[name] / (1 - b2**self.t)
             p -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"t": self.t, "lr": self.lr}
+
+    def load_state_dict(self, d: dict) -> None:
+        self.t = int(d["t"])
+        self.lr = float(d["lr"])
+
+    def state_slots(self) -> Dict[str, List[np.ndarray]]:
+        return {
+            name: [np.array(self._m[name], copy=True), np.array(self._v[name], copy=True)]
+            for name in self.params
+        }
+
+    def load_state_slots(self, slots: Dict[str, List[np.ndarray]]) -> None:
+        for name, arrays in slots.items():
+            if name in self._m:
+                self._m[name][...] = arrays[0]
+                self._v[name][...] = arrays[1]
 
 
 # ----------------------------------------------------------------------

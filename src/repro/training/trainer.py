@@ -1,25 +1,61 @@
 """A scheme-agnostic training loop.
 
 Works with :class:`~repro.core.model.OptimusModel`,
-:class:`~repro.megatron.model.MegatronModel` or the serial reference (via a
-thin adapter), since all three expose ``forward(ids, labels)`` and
-``backward()``.
+:class:`~repro.megatron.model.MegatronModel` or the serial reference (via
+the :class:`SerialModelAdapter` / :func:`make_serial_trainer` helpers),
+since all of them expose ``forward(ids, labels)`` and ``backward()``.
 
 When the model runs on a simulator, each step is wrapped in a ``step`` span
 (so traces show ``step > layer > op > collective`` nesting) and per-step
 metrics — loss, simulated step time, the step's compute/comm split — are
 published into a :class:`~repro.obs.metrics.MetricsRegistry` (the
 simulator's own registry by default).
+
+The loop is factored into small overridable pieces so the resilience layer
+can interpose without duplicating it:
+
+* :meth:`Trainer._run_step` — one forward/backward/clip/update given a
+  batch (re-executable: the SDC guard re-runs it on detected corruption);
+* :meth:`Trainer._check_gradients` — a hook between backward and update
+  (no-op here; :class:`~repro.resilience.trainer.ResilientTrainer` injects
+  and detects silent data corruption in it);
+* :meth:`Trainer._logged_step` — one step plus span/metrics/log bookkeeping.
+
+A trainer also knows how to checkpoint itself: :meth:`state_dict` captures
+the scalar training state (step counter, optimizer hyper-state, AMP loss
+scale, data cursor, RNG state), and :meth:`save` / :meth:`resume` delegate
+to :mod:`repro.serialization` for the full parameters-and-moments state.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.events import NULL_SPAN
+from repro.training.amp import scale_grads
 from repro.training.optim import clip_grads
+
+
+class TrainingDivergedError(RuntimeError):
+    """The loss became non-finite (nan/inf)."""
+
+    def __init__(self, step: int, loss: float, last_finite_loss: Optional[float]):
+        self.step = step
+        self.loss = loss
+        self.last_finite_loss = last_finite_loss
+        tail = (
+            f"last finite loss was {last_finite_loss:.6g}"
+            if last_finite_loss is not None
+            else "no finite loss was ever recorded"
+        )
+        super().__init__(
+            f"training diverged at step {step}: loss is {loss!r} ({tail})"
+        )
 
 
 def _find_sim(model):
@@ -43,6 +79,17 @@ class TrainLog:
     def last_loss(self) -> float:
         return self.losses[-1]
 
+    def truncate(self, num_steps: int) -> None:
+        """Drop log entries beyond ``num_steps`` (checkpoint rollback)."""
+        for lst in (
+            self.losses,
+            self.grad_norms,
+            self.lrs,
+            self.step_times,
+            self.comm_fractions,
+        ):
+            del lst[num_steps:]
+
 
 class Trainer:
     """Forward / backward / clip / step loop over a batch iterator."""
@@ -57,6 +104,8 @@ class Trainer:
         log_every: int = 0,
         printer: Callable[[str], None] = print,
         metrics: Optional[MetricsRegistry] = None,
+        scaler=None,
+        rng: Optional[np.random.Generator] = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -65,9 +114,12 @@ class Trainer:
         self.max_grad_norm = max_grad_norm
         self.log_every = log_every
         self.printer = printer
+        self.scaler = scaler
+        self.rng = rng
         self.step = 0
         self.log = TrainLog()
         self.sim = _find_sim(model)
+        self._last_finite_loss: Optional[float] = None
         if metrics is not None:
             self.metrics = metrics
         elif self.sim is not None:
@@ -75,53 +127,203 @@ class Trainer:
         else:
             self.metrics = MetricsRegistry()
 
+    # ------------------------------------------------------------------
+    # one step, in re-executable pieces
+    # ------------------------------------------------------------------
     def _one_step(self) -> float:
         ids, labels = next(self.batches)
+        return self._run_step(ids, labels)
+
+    def _run_step(self, ids, labels) -> float:
+        """One forward/backward/clip/update on a given batch.
+
+        Pure in the batch: re-running it on the same (ids, labels) after
+        zeroing gradients reproduces the same update, which is what lets
+        the SDC guard retry a corrupted step.
+        """
         self.optimizer.zero_grad()
-        loss = self.model.forward(ids, labels)
+        loss = float(self.model.forward(ids, labels))
+        if not math.isfinite(loss):
+            raise TrainingDivergedError(self.step, loss, self._last_finite_loss)
         self.model.backward()
+        self._check_gradients(loss)
         norm = float("nan")
         if self.max_grad_norm is not None:
             norm = clip_grads(self.optimizer.params, self.max_grad_norm)
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule(self.step)
-        self.optimizer.step()
+        if self.scaler is not None:
+            # the scale is a power of two, so scale→unscale is bit-exact and
+            # the trajectory matches unscaled training when nothing overflows
+            scale_grads(self.optimizer.params, self.scaler.scale)
+            self.scaler.step()
+        else:
+            self.optimizer.step()
         self.log.grad_norms.append(norm)
-        return float(loss)
+        self._last_finite_loss = loss
+        return loss
+
+    def _check_gradients(self, loss: float) -> None:
+        """Hook between backward and update; the resilience layer overrides
+        it to inject and detect silent data corruption."""
+
+    def _logged_step(self) -> float:
+        """One step plus span, timing, metrics and log bookkeeping."""
+        sim = self.sim
+        if sim is not None:
+            tr = sim.tracer
+            t0 = sim.elapsed()
+            compute0 = max(d.compute_time for d in sim.devices)
+            comm0 = max(d.comm_time for d in sim.devices)
+            with tr.span("step", sim.ranks, "step",
+                         step=self.step) if tr.enabled else NULL_SPAN:
+                loss = self._one_step()
+            step_time = sim.elapsed() - t0
+            compute_dt = max(d.compute_time for d in sim.devices) - compute0
+            comm_dt = max(d.comm_time for d in sim.devices) - comm0
+            busy = compute_dt + comm_dt
+            comm_frac = comm_dt / busy if busy else 0.0
+        else:
+            loss = self._one_step()
+            step_time = float("nan")
+            comm_frac = float("nan")
+        self.step += 1
+        self.log.losses.append(loss)
+        self.log.lrs.append(self.optimizer.lr)
+        self.log.step_times.append(step_time)
+        self.log.comm_fractions.append(comm_frac)
+        self.metrics.counter("train/steps").inc()
+        self.metrics.histogram("train/loss").observe(loss)
+        if sim is not None:
+            self.metrics.histogram("train/step_time").observe(step_time)
+            self.metrics.gauge("train/comm_fraction").set(comm_frac)
+        if self.log_every and self.step % self.log_every == 0:
+            self.printer(
+                f"step {self.step:5d}  loss {loss:.4f}  "
+                f"lr {self.optimizer.lr:.2e}"
+            )
+        return loss
 
     def train_steps(self, num_steps: int) -> TrainLog:
-        sim = self.sim
         for _ in range(num_steps):
-            if sim is not None:
-                tr = sim.tracer
-                t0 = sim.elapsed()
-                compute0 = max(d.compute_time for d in sim.devices)
-                comm0 = max(d.comm_time for d in sim.devices)
-                with tr.span("step", sim.ranks, "step",
-                             step=self.step) if tr.enabled else NULL_SPAN:
-                    loss = self._one_step()
-                step_time = sim.elapsed() - t0
-                compute_dt = max(d.compute_time for d in sim.devices) - compute0
-                comm_dt = max(d.comm_time for d in sim.devices) - comm0
-                busy = compute_dt + comm_dt
-                comm_frac = comm_dt / busy if busy else 0.0
-            else:
-                loss = self._one_step()
-                step_time = float("nan")
-                comm_frac = float("nan")
-            self.step += 1
-            self.log.losses.append(loss)
-            self.log.lrs.append(self.optimizer.lr)
-            self.log.step_times.append(step_time)
-            self.log.comm_fractions.append(comm_frac)
-            self.metrics.counter("train/steps").inc()
-            self.metrics.histogram("train/loss").observe(loss)
-            if sim is not None:
-                self.metrics.histogram("train/step_time").observe(step_time)
-                self.metrics.gauge("train/comm_fraction").set(comm_frac)
-            if self.log_every and self.step % self.log_every == 0:
-                self.printer(
-                    f"step {self.step:5d}  loss {loss:.4f}  "
-                    f"lr {self.optimizer.lr:.2e}"
-                )
+            self._logged_step()
         return self.log
+
+    # ------------------------------------------------------------------
+    # checkpoint / restart
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Scalar training state (everything except arrays); paired with the
+        parameter/moment arrays by
+        :func:`repro.serialization.save_training_checkpoint`."""
+        state: dict = {"step": self.step, "last_finite_loss": self._last_finite_loss}
+        if callable(getattr(self.optimizer, "state_dict", None)):
+            state["optimizer"] = self.optimizer.state_dict()
+        if self.scaler is not None:
+            state["scaler"] = self.scaler.state()
+        if callable(getattr(self.batches, "state", None)):
+            state["data"] = self.batches.state()
+        if self.rng is not None:
+            state["rng"] = self.rng.bit_generator.state
+        return state
+
+    def save(self, path) -> str:
+        """Write a full-state checkpoint; returns the path written."""
+        from repro.serialization import save_training_checkpoint
+
+        return save_training_checkpoint(path, self)
+
+    def resume(self, source) -> int:
+        """Restore full training state from a checkpoint path (or an
+        already-loaded :class:`~repro.serialization.TrainingState`) and
+        return the step to continue from."""
+        from repro.serialization import (
+            TrainingState,
+            apply_training_state,
+            load_training_checkpoint,
+        )
+
+        state = (
+            source
+            if isinstance(source, TrainingState)
+            else load_training_checkpoint(source)
+        )
+        apply_training_state(self, state)
+        self.log.truncate(self.step)
+        return self.step
+
+
+# ----------------------------------------------------------------------
+# serial reference adapters
+# ----------------------------------------------------------------------
+class SerialModelAdapter:
+    """Give :class:`~repro.reference.model.ReferenceTransformer` the
+    ``forward()`` / ``backward()`` surface the trainer expects."""
+
+    def __init__(self, ref):
+        self.ref = ref
+        self.cfg = ref.cfg
+        self.params = ref.params
+        self.grads = None
+        self._pending = None
+
+    def forward(self, ids, labels) -> float:
+        loss, grads = self.ref.loss_and_grads(ids, labels)
+        self._pending = grads
+        return loss
+
+    def backward(self) -> None:
+        self.grads = self._pending
+
+
+class SerialOptimizerAdapter:
+    """Bridge a serial optimizer (explicit grads dict) to the trainer's
+    ``zero_grad()`` / ``step()`` protocol."""
+
+    params = ()  # no DistParams: grad clipping is a no-op on the serial path
+
+    def __init__(self, opt, model: SerialModelAdapter):
+        self.opt = opt
+        self.model = model
+
+    @property
+    def lr(self) -> float:
+        return self.opt.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.opt.lr = value
+
+    def zero_grad(self) -> None:
+        self.model.grads = None
+
+    def step(self) -> None:
+        if self.model.grads is not None:
+            self.opt.step(self.model.grads)
+
+    def state_dict(self) -> dict:
+        return self.opt.state_dict()
+
+    def load_state_dict(self, d: dict) -> None:
+        self.opt.load_state_dict(d)
+
+    def state_slots(self):
+        return self.opt.state_slots()
+
+    def load_state_slots(self, slots) -> None:
+        self.opt.load_state_slots(slots)
+
+
+def make_serial_trainer(cfg, batches, optimizer=None, params=None, seed=1, **kw):
+    """A :class:`Trainer` over the serial reference model: builds the model
+    from ``params`` (or a fresh seeded init) and wires both adapters."""
+    from repro.nn import init_transformer_params
+    from repro.reference import ReferenceTransformer
+    from repro.training.optim import SerialAdam
+
+    if params is None:
+        params = init_transformer_params(cfg, seed=seed)
+    model = SerialModelAdapter(ReferenceTransformer(cfg, params))
+    if optimizer is None:
+        optimizer = SerialAdam(params, lr=1e-2)
+    return Trainer(model, SerialOptimizerAdapter(optimizer, model), batches, **kw)

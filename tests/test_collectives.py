@@ -50,8 +50,21 @@ class TestDataSemantics:
 
     def test_reduce_bad_op(self, rng):
         g = _group()
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError,
+            match=r"unsupported reduction op 'prod': valid ops are \['sum', 'max'\]",
+        ):
             coll.reduce(g, _shards(g, rng), root=0, op="prod")
+
+    def test_bad_op_rejected_on_size1_group(self, rng):
+        # size-1 groups take the zero-copy early return and never combine;
+        # the op must still be validated up front
+        g = _group(p=1)
+        sh = {0: rng.normal(size=(2, 2))}
+        with pytest.raises(ValueError, match="unsupported reduction op 'prod'"):
+            coll.reduce(g, sh, root=0, op="prod")
+        with pytest.raises(ValueError, match="unsupported reduction op 'mean'"):
+            coll.all_reduce(g, sh, op="mean")
 
     def test_all_reduce(self, rng):
         g = _group()

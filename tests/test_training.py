@@ -18,6 +18,7 @@ from repro.training import (
     SerialAdam,
     SerialSGD,
     Trainer,
+    TrainingDivergedError,
     clip_grads,
     constant_lr,
     copy_task_batch,
@@ -254,3 +255,58 @@ class TestTrainer:
 
         Trainer(model, opt, batches(), log_every=1).train_steps(1)
         assert "step" in capsys.readouterr().out
+
+
+class _DivergingModel:
+    """Returns one finite loss, then NaN forever (simulated blow-up)."""
+
+    def __init__(self):
+        self._calls = 0
+
+    def forward(self, ids, labels) -> float:
+        self._calls += 1
+        return 1.25 if self._calls == 1 else float("nan")
+
+    def backward(self) -> None:
+        pass
+
+
+class _NoOpOptimizer:
+    params = ()
+    lr = 0.1
+
+    def zero_grad(self) -> None:
+        pass
+
+    def step(self) -> None:
+        pass
+
+
+class TestDivergenceGuard:
+    def test_nan_loss_raises_with_step_and_last_finite_loss(self):
+        def batches():
+            while True:
+                yield None, None
+
+        trainer = Trainer(_DivergingModel(), _NoOpOptimizer(), batches())
+        with pytest.raises(TrainingDivergedError) as ei:
+            trainer.train_steps(5)
+        err = ei.value
+        assert err.step == 1
+        assert math.isnan(err.loss)
+        assert err.last_finite_loss == 1.25
+        assert "step 1" in str(err) and "1.25" in str(err)
+        # the guard fires before backward touches anything; the good step
+        # was committed and logged
+        assert trainer.log.losses == [1.25]
+
+    def test_nan_on_first_step_reports_no_finite_loss(self):
+        model = _DivergingModel()
+        model._calls = 1  # skip the finite loss
+
+        def batches():
+            while True:
+                yield None, None
+
+        with pytest.raises(TrainingDivergedError, match="no finite loss"):
+            Trainer(model, _NoOpOptimizer(), batches()).train_steps(1)
