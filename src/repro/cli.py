@@ -192,6 +192,10 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.20,
         help="relative wall-clock regression threshold (default 0.20)",
     )
+    bch.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append a 'bench' record to this run-ledger JSONL file/dir",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -216,6 +220,36 @@ def main(argv=None) -> int:
     chaos.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write per-scheme Perfetto traces of the chaos runs",
+    )
+    chaos.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append per-scheme 'chaos' records to this run-ledger file/dir",
+    )
+
+    dash = sub.add_parser(
+        "dash",
+        help="render a static HTML dashboard + OpenMetrics file from the "
+        "run ledger (collects missing evidence first)",
+    )
+    dash.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger JSONL file/dir (default: benchmarks/ledger/ledger.jsonl)",
+    )
+    dash.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="dashboard HTML path (default: <ledger dir>/dash.html)",
+    )
+    dash.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="OpenMetrics text path (default: <ledger dir>/metrics.txt)",
+    )
+    dash.add_argument(
+        "--baseline", default="benchmarks/baseline.json", metavar="PATH",
+        help="bench baseline for the regression section",
+    )
+    dash.add_argument(
+        "--no-collect", action="store_true",
+        help="render only what the ledger already holds (no new runs)",
     )
 
     chk = sub.add_parser(
@@ -244,6 +278,7 @@ def main(argv=None) -> int:
             only=args.only,
             repeats=args.repeats,
             threshold=args.threshold,
+            ledger=args.ledger,
         )
     if args.command == "chaos":
         from repro.resilience.chaos import main as chaos_main
@@ -255,6 +290,17 @@ def main(argv=None) -> int:
             schemes=args.schemes,
             out=args.out,
             trace_out=args.trace_out,
+            ledger=args.ledger,
+        )
+    if args.command == "dash":
+        from repro.obs.dash import main as dash_main
+
+        return dash_main(
+            ledger=args.ledger,
+            out=args.out,
+            openmetrics_out=args.openmetrics,
+            baseline=args.baseline,
+            no_collect=args.no_collect,
         )
     if args.command == "check":
         from repro.check.fuzz import main as check_main

@@ -65,6 +65,31 @@ def _stem_params(cfg: ModelConfig, dtype: str = "float32"):
     )
 
 
+def _record_stem(ledger, label: str, sim, cfg: ModelConfig, res: StemResult, **mesh):
+    """Append one ``experiment`` ledger record for a completed stem run."""
+    from dataclasses import asdict
+
+    from repro.obs.ledger import json_safe, record_from_sim
+
+    ledger.append(
+        record_from_sim(
+            "experiment",
+            sim,
+            label=label,
+            scheme=res.scheme,
+            config=cfg,
+            mesh=mesh or None,
+            extra=json_safe(
+                {
+                    "workload": "stem",
+                    "batch_size": res.batch_size,
+                    "result": asdict(res),
+                }
+            ),
+        )
+    )
+
+
 def run_optimus_stem(
     cfg: ModelConfig,
     q: int,
@@ -73,6 +98,8 @@ def run_optimus_stem(
     gpus_per_node: int = 4,
     checkpoint: bool = True,
     strict_memory: bool = False,
+    ledger=None,
+    run_label: str = "stem",
 ) -> StemResult:
     """One forward + one checkpointed backward of the Optimus stem."""
     sim = Simulator.for_mesh(
@@ -90,7 +117,7 @@ def run_optimus_stem(
     fwd = sim.elapsed()
     model.stem_backward()
     total = sim.elapsed()
-    return StemResult(
+    res = StemResult(
         scheme="optimus",
         num_devices=q * q,
         batch_size=batch_size,
@@ -102,6 +129,9 @@ def run_optimus_stem(
         compute_time=max(d.compute_time for d in sim.devices),
         comm_time=max(d.comm_time for d in sim.devices),
     )
+    if ledger is not None:
+        _record_stem(ledger, run_label, sim, cfg, res, q=q)
+    return res
 
 
 def run_megatron_stem(
@@ -112,6 +142,8 @@ def run_megatron_stem(
     checkpoint: bool = True,
     checkpoint_layout: str = "distributed",
     strict_memory: bool = False,
+    ledger=None,
+    run_label: str = "stem",
 ) -> StemResult:
     """One forward + one checkpointed backward of the Megatron stem."""
     sim = Simulator.for_flat(
@@ -129,7 +161,7 @@ def run_megatron_stem(
     fwd = sim.elapsed()
     model.stem_backward()
     total = sim.elapsed()
-    return StemResult(
+    res = StemResult(
         scheme="megatron",
         num_devices=p,
         batch_size=batch_size,
@@ -141,3 +173,6 @@ def run_megatron_stem(
         compute_time=max(d.compute_time for d in sim.devices),
         comm_time=max(d.comm_time for d in sim.devices),
     )
+    if ledger is not None:
+        _record_stem(ledger, run_label, sim, cfg, res)
+    return res

@@ -11,11 +11,22 @@ artifacts performance work is judged against:
 * :mod:`repro.obs.comm_matrix` — rank→rank traffic matrices (raw and
   β-weighted) whose totals reconcile with the device byte counters;
 * :mod:`repro.obs.report` — plain-text top-k span and memory reports;
-* :mod:`repro.obs.profile` — the ``python -m repro profile`` driver.
+* :mod:`repro.obs.profile` — the ``python -m repro profile`` driver;
+* :mod:`repro.obs.ledger` — append-only, byte-deterministic JSONL run
+  records shared by the trainer, bench suite, chaos campaigns and stems;
+* :mod:`repro.obs.openmetrics` — Prometheus/OpenMetrics text exposition
+  of metric snapshots (live registry or ledger records), with a grammar
+  validator;
+* :mod:`repro.obs.claims` — the paper-claims scorecard (measured ledger
+  evidence vs :mod:`repro.perfmodel` predictions);
+* :mod:`repro.obs.dash` — the ``python -m repro dash`` static HTML
+  dashboard.
 """
 
 from repro.obs.comm_matrix import comm_matrix, render_comm_matrix
+from repro.obs.ledger import RunLedger, RunRecord, record_from_sim
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.openmetrics import render_registry, validate_openmetrics
 from repro.obs.perfetto import chrome_trace, write_chrome_trace
 from repro.obs.report import memory_report, top_spans
 
@@ -24,6 +35,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunLedger",
+    "RunRecord",
+    "record_from_sim",
+    "render_registry",
+    "validate_openmetrics",
     "chrome_trace",
     "write_chrome_trace",
     "comm_matrix",

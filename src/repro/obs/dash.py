@@ -1,0 +1,425 @@
+"""``python -m repro dash`` — a static HTML dashboard over the run ledger.
+
+Reads :mod:`repro.obs.ledger` records and renders one self-contained HTML
+file (inline SVG, no JavaScript, light/dark via CSS custom properties)
+plus an OpenMetrics text file:
+
+* **paper-claims scorecard** — the :mod:`repro.obs.claims` verdicts with
+  measured-vs-predicted ratios (status is icon + label, never color
+  alone);
+* **trends** — simulated clock, peak memory and communication volume per
+  ledger record, in append order;
+* **bench regressions** — normalized wall-clock deltas against
+  ``benchmarks/baseline.json``;
+* **run table** — every ledger record with its content-hash ``run_id``.
+
+Unless ``--no-collect`` is passed, missing evidence is collected first
+(a tiny training run, a micro-bench, a quick single-scheme chaos
+campaign, the claim stems), so a bare ``python -m repro dash`` on a fresh
+checkout produces a complete dashboard.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs.ledger import RunLedger, RunRecord
+
+DEFAULT_HTML = "dash.html"
+DEFAULT_OPENMETRICS = "metrics.txt"
+
+_STATUS = {  # icon + label: color never carries a verdict alone
+    "pass": ("✓", "PASS", "status-good"),
+    "fail": ("✗", "FAIL", "status-critical"),
+    "no-evidence": ("○", "NO EVIDENCE", "status-muted"),
+    "ok": ("✓", "OK", "status-good"),
+    "regressed": ("✗", "REGRESSED", "status-critical"),
+}
+
+
+# ----------------------------------------------------------------------
+# evidence collection
+# ----------------------------------------------------------------------
+def _collect_train(ledger: RunLedger, printer) -> None:
+    from repro.config import tiny_config
+    from repro.core import OptimusModel
+    from repro.mesh import Mesh
+    from repro.nn import init_transformer_params
+    from repro.runtime import Simulator
+    from repro.training.data import BatchStream
+    from repro.training.optim import Adam
+    from repro.training.trainer import Trainer
+
+    printer("collecting evidence: tiny optimus training run (5 steps)")
+    cfg = tiny_config(num_layers=2)
+    sim = Simulator.for_mesh(q=2)
+    model = OptimusModel(Mesh(sim, 2), cfg, init_transformer_params(cfg, seed=1))
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=1e-2),
+        BatchStream.copy_task(cfg, 4, seed=0),
+        ledger=ledger,
+        run_label="dash-train",
+        seed=0,
+    )
+    trainer.train_steps(5)
+
+
+def _collect_bench(ledger: RunLedger, printer) -> None:
+    from repro.bench.cli import append_bench_record
+    from repro.bench.core import run_suite
+
+    printer("collecting evidence: micro-benchmark (micro/collectives)")
+    doc = run_suite(only=["micro/collectives"], repeats=1, printer=lambda _: None)
+    append_bench_record(ledger, doc, only=["micro/collectives"])
+
+
+def _collect_chaos(ledger: RunLedger, printer) -> None:
+    from repro.resilience.chaos import run_campaign
+
+    printer("collecting evidence: quick chaos campaign (optimus)")
+    run_campaign(seed=0, quick=True, schemes=("optimus",), ledger=ledger)
+
+
+def collect(ledger: RunLedger, printer=print) -> None:
+    """Fill evidence gaps so the dashboard has every section populated."""
+    from repro.obs.claims import ensure_claim_records
+
+    kinds = ledger.kinds()
+    if not kinds.get("train"):
+        _collect_train(ledger, printer)
+    if not kinds.get("bench"):
+        _collect_bench(ledger, printer)
+    if not kinds.get("chaos"):
+        _collect_chaos(ledger, printer)
+    ensure_claim_records(ledger, printer=printer)
+
+
+# ----------------------------------------------------------------------
+# data shaping
+# ----------------------------------------------------------------------
+def _fmt_bytes(n: Optional[float]) -> str:
+    if not n:
+        return "—"
+    for unit, scale in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+        if n >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def _fmt_secs(t: Optional[float]) -> str:
+    return "—" if t is None else f"{t:.3f} s"
+
+
+def _record_label(r: RunRecord) -> str:
+    bits = [r.kind]
+    if r.scheme:
+        bits.append(r.scheme)
+    if r.label and r.label not in ("", r.kind):
+        bits.append(r.label)
+    return "/".join(bits)
+
+
+def trend_series(records: Sequence[RunRecord]) -> dict:
+    """(label, value) series for the clock / memory / comm trend charts."""
+    clock, memory, comm = [], [], []
+    for r in records:
+        label = _record_label(r)
+        if r.clock is not None:
+            clock.append((label, float(r.clock)))
+        c = r.counters or {}
+        if c.get("peak_memory_bytes"):
+            memory.append((label, float(c["peak_memory_bytes"])))
+        if c.get("total_bytes_comm"):
+            comm.append((label, float(c["total_bytes_comm"])))
+    return {"clock": clock, "memory": memory, "comm": comm}
+
+
+def bench_comparison(records: Sequence[RunRecord], baseline_path: Optional[str],
+                     threshold: float = 0.20) -> List[dict]:
+    """Regression rows from the newest bench record (stored or recomputed)."""
+    bench = None
+    for r in records:
+        if r.kind == "bench":
+            bench = r
+    if bench is None:
+        return []
+    extra = bench.extra or {}
+    rows = extra.get("comparison")
+    if rows is None and baseline_path and os.path.exists(baseline_path):
+        from repro.bench.core import compare, load_results
+
+        results = extra.get("results")
+        if results:
+            rows = [
+                {"name": c.name, "baseline_wall": c.baseline_wall,
+                 "current_wall": c.current_wall, "normalized_wall": c.normalized_wall,
+                 "ratio": c.ratio, "regressed": c.regressed}
+                for c in compare(results, load_results(baseline_path), threshold=threshold)
+            ]
+    return list(rows or [])
+
+
+# ----------------------------------------------------------------------
+# SVG (no JavaScript; hover via <title>)
+# ----------------------------------------------------------------------
+def _bar_chart(items: List[Tuple[str, float]], fmt=lambda v: f"{v:.3g}") -> str:
+    """A horizontal single-series bar chart (series-1; no legend needed)."""
+    if not items:
+        return '<p class="muted">no data yet</p>'
+    label_w, value_w, bar_max = 190, 90, 420
+    row_h, bar_h, pad = 22, 14, 4
+    width = label_w + bar_max + value_w
+    height = len(items) * row_h + pad
+    top = max(v for _, v in items) or 1.0
+    rows = []
+    for i, (label, value) in enumerate(items):
+        y = pad + i * row_h
+        w = max(2.0, value / top * (bar_max - 8))
+        lab = html.escape(label)
+        rows.append(
+            f'<g><title>{lab}: {html.escape(fmt(value))}</title>'
+            f'<text x="{label_w - 8}" y="{y + bar_h - 3}" text-anchor="end" '
+            f'class="tick">{lab}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" height="{bar_h}" '
+            f'rx="3" class="bar"/>'
+            f'<text x="{label_w + w + 6:.1f}" y="{y + bar_h - 3}" '
+            f'class="val">{html.escape(fmt(value))}</text></g>'
+        )
+    axis_y = height - 1
+    return (
+        f'<svg viewBox="0 0 {width} {height + 4}" role="img" '
+        f'style="max-width:{width}px;width:100%">'
+        f'<line x1="{label_w}" y1="{axis_y}" x2="{label_w + bar_max}" '
+        f'y2="{axis_y}" class="axis"/>' + "".join(rows) + "</svg>"
+    )
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --series-1: #2a78d6;
+  --grid: #e5e4e0;
+  --status-good: #0ca30c; --status-critical: #d03b3b;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif; margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --series-1: #3987e5;
+    --grid: #383835;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 16px; margin: 28px 0 8px; }
+.viz-root .muted, .viz-root .tick { color: var(--text-secondary); }
+.viz-root section {
+  background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 16px 20px; margin: 16px 0;
+}
+.viz-root table { border-collapse: collapse; width: 100%; }
+.viz-root th, .viz-root td {
+  text-align: left; padding: 4px 12px 4px 0;
+  border-bottom: 1px solid var(--grid); font-variant-numeric: tabular-nums;
+}
+.viz-root th { color: var(--text-secondary); font-weight: 500; }
+.viz-root svg .bar { fill: var(--series-1); }
+.viz-root svg .axis { stroke: var(--grid); stroke-width: 1; }
+.viz-root svg text { font: 11px system-ui, sans-serif; fill: var(--text-primary); }
+.viz-root svg .tick, .viz-root svg .val { fill: var(--text-secondary); }
+.viz-root .status-good { color: var(--status-good); }
+.viz-root .status-critical { color: var(--status-critical); }
+.viz-root .status-muted { color: var(--text-secondary); }
+.viz-root code { font-size: 12px; }
+"""
+
+
+def _status_cell(status: str) -> str:
+    icon, label, cls = _STATUS.get(status, ("?", status.upper(), "status-muted"))
+    return f'<span class="{cls}">{icon}&nbsp;{label}</span>'
+
+
+def _claims_section(card: dict) -> str:
+    def num(v, spec=".4g"):
+        return "—" if v is None else format(v, spec)
+
+    rows = []
+    for c in card["claims"]:
+        band = "" if not c["band"] else f"[{c['band'][0]:g}, {c['band'][1]:g}]"
+        rows.append(
+            f"<tr><td>{html.escape(c['title'])}</td>"
+            f"<td>{_status_cell(c['status'])}</td>"
+            f"<td>{num(c['measured'])}</td><td>{num(c['predicted'])}</td>"
+            f"<td>{num(c['ratio'], '.3f')}</td>"
+            f"<td>{band}</td><td class='muted'>{html.escape(c['detail'])}</td></tr>"
+        )
+    head = (f"{card['num_pass']} pass · {card['num_fail']} fail · "
+            f"{card['num_no_evidence']} without evidence")
+    return (
+        f"<section><h2>Paper-claims scorecard</h2><p class='muted'>{head}</p>"
+        "<table><tr><th>claim</th><th>verdict</th><th>measured</th>"
+        "<th>predicted</th><th>measured/predicted</th><th>band</th>"
+        "<th>detail</th></tr>" + "".join(rows) + "</table></section>"
+    )
+
+
+def _trends_section(series: dict) -> str:
+    return (
+        "<section><h2>Trends across ledger records</h2>"
+        "<h3 class='muted'>Simulated clock (slowest rank, seconds)</h3>"
+        + _bar_chart(series["clock"], fmt=lambda v: f"{v:.3f} s")
+        + "<h3 class='muted'>Peak device memory</h3>"
+        + _bar_chart(series["memory"], fmt=_fmt_bytes)
+        + "<h3 class='muted'>Total communication volume</h3>"
+        + _bar_chart(series["comm"], fmt=_fmt_bytes)
+        + "</section>"
+    )
+
+
+def _regressions_section(rows: List[dict]) -> str:
+    if not rows:
+        body = ("<p class='muted'>no baseline comparison in the newest bench "
+                "record (run <code>repro bench --compare benchmarks/baseline.json "
+                "--ledger …</code>)</p>")
+        return f"<section><h2>Bench regressions vs baseline</h2>{body}</section>"
+    trs = []
+    for c in rows:
+        delta = (c["ratio"] - 1.0) * 100.0
+        trs.append(
+            f"<tr><td><code>{html.escape(c['name'])}</code></td>"
+            f"<td>{_status_cell('regressed' if c['regressed'] else 'ok')}</td>"
+            f"<td>{c['baseline_wall'] * 1e3:.1f} ms</td>"
+            f"<td>{c['normalized_wall'] * 1e3:.1f} ms</td>"
+            f"<td>{delta:+.1f}%</td></tr>"
+        )
+    return (
+        "<section><h2>Bench regressions vs baseline</h2>"
+        "<table><tr><th>benchmark</th><th>verdict</th><th>baseline</th>"
+        "<th>current (normalized)</th><th>Δ wall</th></tr>"
+        + "".join(trs) + "</table></section>"
+    )
+
+
+def _runs_section(records: Sequence[RunRecord]) -> str:
+    trs = []
+    for r in records:
+        c = r.counters or {}
+        trs.append(
+            f"<tr><td><code>{r.run_id}</code></td><td>{html.escape(r.kind)}</td>"
+            f"<td>{html.escape(r.scheme or '—')}</td>"
+            f"<td>{html.escape(r.label or '—')}</td>"
+            f"<td>{(r.mesh or {}).get('ranks', '—')}</td>"
+            f"<td>{_fmt_secs(r.clock)}</td>"
+            f"<td>{_fmt_bytes(c.get('peak_memory_bytes'))}</td>"
+            f"<td>{_fmt_bytes(c.get('total_bytes_comm'))}</td>"
+            f"<td><code>{html.escape(r.git)}</code></td></tr>"
+        )
+    return (
+        "<section><h2>Run ledger</h2>"
+        "<table><tr><th>run_id</th><th>kind</th><th>scheme</th><th>label</th>"
+        "<th>ranks</th><th>sim clock</th><th>peak mem</th><th>comm</th>"
+        "<th>git</th></tr>" + "".join(trs) + "</table></section>"
+    )
+
+
+def render_html(records: Sequence[RunRecord], card: dict,
+                regressions: List[dict]) -> str:
+    from repro.obs.ledger import git_revision
+
+    kinds: dict = {}
+    for r in records:
+        kinds[r.kind] = kinds.get(r.kind, 0) + 1
+    counts = " · ".join(f"{n} {k}" for k, n in sorted(kinds.items())) or "empty"
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<meta name='viewport' content='width=device-width, initial-scale=1'>"
+        "<title>repro dashboard</title>"
+        f"<style>{_CSS}</style></head><body class='viz-root'>"
+        "<h1>Optimus reproduction — run dashboard</h1>"
+        f"<p class='muted'>{len(records)} ledger records ({counts}) · "
+        f"git <code>{html.escape(git_revision())}</code></p>"
+        + _claims_section(card)
+        + _trends_section(trend_series(records))
+        + _regressions_section(regressions)
+        + _runs_section(records)
+        + "</body></html>"
+    )
+
+
+def render_openmetrics_for_records(records: Sequence[RunRecord]) -> str:
+    """OpenMetrics text of the newest record per kind (run_id/kind labels)."""
+    from repro.obs.openmetrics import render_export
+
+    newest: dict = {}
+    for r in records:
+        if r.metrics:
+            newest[r.kind] = r
+    # merge all kinds into one exposition; kind/run_id labels keep series distinct
+    merged: List[dict] = []
+    for kind in sorted(newest):
+        r = newest[kind]
+        for e in r.metrics:
+            e = dict(e)
+            e["labels"] = dict(e.get("labels") or {})
+            e["labels"].update({"kind": r.kind, "run_id": r.run_id})
+            merged.append(e)
+    return render_export(merged)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(
+    ledger: Optional[str] = None,
+    out: Optional[str] = None,
+    openmetrics_out: Optional[str] = None,
+    baseline: str = os.path.join("benchmarks", "baseline.json"),
+    no_collect: bool = False,
+    printer=print,
+) -> int:
+    led = RunLedger(ledger) if ledger else RunLedger.default()
+    if not no_collect:
+        collect(led, printer=printer)
+    records = led.read()
+    if not records:
+        printer("ledger is empty and --no-collect was given; nothing to render")
+        return 1
+
+    from repro.obs.claims import scorecard
+    from repro.obs.openmetrics import validate_openmetrics
+
+    card = scorecard(records)
+    regressions = bench_comparison(records, baseline)
+    ledger_dir = os.path.dirname(led.path) or "."
+    out = out or os.path.join(ledger_dir, DEFAULT_HTML)
+    openmetrics_out = openmetrics_out or os.path.join(ledger_dir, DEFAULT_OPENMETRICS)
+
+    html_text = render_html(records, card, regressions)
+    os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+    with open(out, "w") as f:
+        f.write(html_text)
+    printer(f"dashboard written to {out}")
+
+    om_text = render_openmetrics_for_records(records)
+    problems = validate_openmetrics(om_text)
+    if problems:
+        printer("OpenMetrics validation FAILED: " + "; ".join(problems))
+        return 1
+    os.makedirs(os.path.dirname(openmetrics_out) or ".", exist_ok=True)
+    with open(openmetrics_out, "w") as f:
+        f.write(om_text)
+    printer(f"OpenMetrics written to {openmetrics_out}")
+    printer(f"claims: {card['num_pass']} pass, {card['num_fail']} fail, "
+            f"{card['num_no_evidence']} without evidence")
+    return 0 if card["ok"] else 1

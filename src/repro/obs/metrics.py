@@ -77,14 +77,22 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        if not self.count:
+            raise ValueError(
+                f"histogram {self.name!r} is empty: mean is undefined "
+                "(observe() at least one value first)"
+            )
+        return self.total / self.count
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile over the retained samples (p in [0, 100])."""
-        if not self.samples:
-            return 0.0
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self.samples:
+            raise ValueError(
+                f"histogram {self.name!r} is empty: percentile({p:g}) is "
+                "undefined (observe() at least one value first)"
+            )
         ordered = sorted(self.samples)
         idx = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
         return ordered[idx]
@@ -135,24 +143,63 @@ class MetricsRegistry:
     def clear(self) -> None:
         self._metrics.clear()
 
+    def _sorted_items(self):
+        """Metrics in a total order that is stable across label insertion
+        orders *and* mixed-type label values (``rank=0`` next to
+        ``rank="all"`` must not raise on comparison), so snapshots, ledger
+        records and OpenMetrics output are byte-stable."""
+        return sorted(
+            self._metrics.items(),
+            key=lambda kv: (kv[0][0], tuple((k, str(v)) for k, v in kv[0][1])),
+        )
+
+    @staticmethod
+    def _histogram_summary(m: "Histogram") -> Dict[str, object]:
+        if not m.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": m.count,
+            "sum": m.total,
+            "mean": m.mean,
+            "min": m.min,
+            "max": m.max,
+            "p50": m.percentile(50),
+            "p99": m.percentile(99),
+        }
+
     def snapshot(self) -> Dict[str, object]:
-        """A JSON-serializable dump of every metric."""
+        """A JSON-serializable dump of every metric (display-oriented keys)."""
         out: Dict[str, object] = {}
-        for (name, labels), m in sorted(self._metrics.items(), key=lambda kv: kv[0]):
+        for (name, labels), m in self._sorted_items():
             label_str = ",".join(f"{k}={v}" for k, v in labels)
             full = f"{name}{{{label_str}}}" if label_str else name
             if isinstance(m, Histogram):
-                out[full] = {
-                    "count": m.count,
-                    "sum": m.total,
-                    "mean": m.mean,
-                    "min": m.min if m.count else 0.0,
-                    "max": m.max if m.count else 0.0,
-                    "p50": m.percentile(50),
-                    "p99": m.percentile(99),
-                }
+                out[full] = self._histogram_summary(m)
             else:
                 out[full] = m.value
+        return out
+
+    def export(self) -> List[dict]:
+        """Structured, machine-readable dump: one entry per metric instance.
+
+        Unlike :meth:`snapshot` (whose keys are rendered strings) each entry
+        keeps ``name``/``labels``/``type`` separate, so consumers — the run
+        ledger and the OpenMetrics exporter — never have to parse label
+        strings back apart.  Ordering matches :meth:`snapshot`.
+        """
+        out: List[dict] = []
+        for (name, labels), m in self._sorted_items():
+            entry: dict = {
+                "name": name,
+                "labels": {k: v for k, v in labels},
+                "type": type(m).__name__.lower(),
+            }
+            if isinstance(m, Histogram):
+                entry.update(self._histogram_summary(m))
+            else:
+                entry["value"] = m.value
+            out.append(entry)
         return out
 
     def render(self, title: str = "Metrics") -> str:

@@ -215,6 +215,7 @@ def run_campaign(
     steps=None,
     schemes=None,
     trace_out=None,
+    ledger=None,
 ) -> dict:
     """Run the full campaign; returns the (JSON-serializable) report."""
     num_steps = steps or (6 if quick else 10)
@@ -231,6 +232,20 @@ def run_campaign(
                 trace=trace_out is not None,
             )
             results.append(result)
+            if ledger is not None:
+                from repro.obs.ledger import json_safe, record_from_sim
+
+                ledger.append(
+                    record_from_sim(
+                        "chaos",
+                        sim,
+                        label=f"chaos-{scheme}",
+                        scheme=scheme,
+                        seed=seed,
+                        config=tiny_config(num_layers=2),
+                        extra=json_safe(result),
+                    )
+                )
             if trace_out is not None:
                 from repro.obs.perfetto import write_chrome_trace
 
@@ -281,9 +296,15 @@ def main(
     schemes=None,
     out=None,
     trace_out=None,
+    ledger=None,
 ) -> int:
+    if ledger is not None and not hasattr(ledger, "append"):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger)
     report = run_campaign(
-        seed=seed, quick=quick, steps=steps, schemes=schemes, trace_out=trace_out
+        seed=seed, quick=quick, steps=steps, schemes=schemes, trace_out=trace_out,
+        ledger=ledger,
     )
     print(render(report))
     if out:

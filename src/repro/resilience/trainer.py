@@ -85,6 +85,8 @@ class ResilientTrainer(Trainer):
                 self._logged_step()
             except (RankCrashError, CollectiveTimeoutError) as e:
                 self._recover(e)
+        if self.ledger is not None:
+            self.ledger.append(self.ledger_record())
         return self.log
 
     def _one_step(self) -> float:

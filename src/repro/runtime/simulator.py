@@ -217,6 +217,27 @@ class Simulator:
             for d in self.devices
         }
 
+    def watermarks(self) -> List[Dict[str, float]]:
+        """Per-rank high-water counters for the run ledger: peak/current
+        memory, allocation events, and the cumulative compute/comm split."""
+        return [
+            {
+                "rank": d.rank,
+                "peak_bytes": int(d.memory.peak),
+                "current_bytes": int(d.memory.current),
+                "num_allocs": int(d.memory.num_allocs),
+                "clock": d.clock,
+                "flops": d.flops,
+                "flops_gemm": d.flops_gemm,
+                "bytes_comm": d.bytes_comm,
+                "weighted_comm_volume": d.weighted_comm_volume,
+                "compute_time": d.compute_time,
+                "comm_time": d.comm_time,
+                "num_collectives": int(d.num_collectives),
+            }
+            for d in self.devices
+        ]
+
     def summary(self) -> Dict[str, float]:
         return {
             "elapsed": self.elapsed(),

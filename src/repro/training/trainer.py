@@ -106,6 +106,9 @@ class Trainer:
         metrics: Optional[MetricsRegistry] = None,
         scaler=None,
         rng: Optional[np.random.Generator] = None,
+        ledger=None,
+        run_label: str = "",
+        seed: Optional[int] = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -116,6 +119,13 @@ class Trainer:
         self.printer = printer
         self.scaler = scaler
         self.rng = rng
+        #: optional :class:`~repro.obs.ledger.RunLedger`; when set,
+        #: :meth:`train_steps` appends one ``train`` record per call.
+        #: Building a record only reads counters, so losses and simulated
+        #: clocks are bit-identical with the ledger on or off.
+        self.ledger = ledger
+        self.run_label = run_label
+        self.seed = seed
         self.step = 0
         self.log = TrainLog()
         self.sim = _find_sim(model)
@@ -207,7 +217,48 @@ class Trainer:
     def train_steps(self, num_steps: int) -> TrainLog:
         for _ in range(num_steps):
             self._logged_step()
+        if self.ledger is not None:
+            self.ledger.append(self.ledger_record())
         return self.log
+
+    def ledger_record(self, kind: str = "train"):
+        """A :class:`~repro.obs.ledger.RunRecord` of this trainer's run so
+        far — read-only over counters, metrics and the training log."""
+        from repro.obs.ledger import RunRecord, _scheme_of, json_safe, record_from_sim
+
+        scheme = _scheme_of(self.model)
+        cfg = getattr(self.model, "cfg", None)
+        extra = json_safe(
+            {
+                "steps": self.step,
+                "final_loss": self.log.losses[-1] if self.log.losses else None,
+                "losses": list(self.log.losses),
+                "step_times": list(self.log.step_times),
+                "comm_fractions": list(self.log.comm_fractions),
+                "label": self.run_label,
+            }
+        )
+        if self.sim is None:
+            return RunRecord(
+                kind=kind,
+                label=self.run_label,
+                scheme=scheme,
+                seed=self.seed,
+                metrics=self.metrics.export(),
+                extra=extra,
+            )
+        mesh = getattr(self.model, "mesh", None)
+        mesh_doc = {"q": mesh.q} if mesh is not None and hasattr(mesh, "q") else None
+        return record_from_sim(
+            kind,
+            self.sim,
+            label=self.run_label,
+            scheme=scheme,
+            seed=self.seed,
+            config=cfg,
+            mesh=mesh_doc,
+            extra=extra,
+        )
 
     # ------------------------------------------------------------------
     # checkpoint / restart
