@@ -8,6 +8,8 @@ Usage::
     python -m repro verify            # quick numerical equivalence check
     python -m repro check --trials 5  # fuzzed equivalence + contract checks
     python -m repro profile table1 --trace-out trace.json --mem-timeline
+    python -m repro critpath table1 --folded stem.folded
+    python -m repro ledger compact --dry-run
 
 Each experiment command prints the same rows/series the paper reports, side
 by side with the paper's measured values.  ``profile`` runs a small traced
@@ -167,6 +169,57 @@ def main(argv=None) -> int:
         "--top", type=int, default=12, help="rows in the top-span report"
     )
 
+    crit = sub.add_parser(
+        "critpath",
+        help="trace an experiment workload, attribute every nanosecond "
+        "(compute/comm/stall/overhead) and rank critical-path bottlenecks "
+        "against the α–β cost model",
+    )
+    crit.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    crit.add_argument(
+        "--scheme", choices=("optimus", "megatron"), default="optimus",
+        help="which parallelism scheme to analyze (default: optimus)",
+    )
+    crit.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the deterministic repro-critpath-v1 JSON document",
+    )
+    crit.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="write a collapsed-stack flamegraph (speedscope/flamegraph.pl)",
+    )
+    crit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print only the canonical JSON document to stdout",
+    )
+    crit.add_argument(
+        "--top", type=int, default=12, help="rows in the bottleneck table"
+    )
+
+    led = sub.add_parser(
+        "ledger", help="run-ledger maintenance (see subcommands)"
+    )
+    led_sub = led.add_subparsers(
+        dest="ledger_command", required=True, metavar="subcommand"
+    )
+    led_compact = led_sub.add_parser(
+        "compact",
+        help="rewrite the ledger keeping the latest record per "
+        "(config fingerprint, git rev); run_ids are preserved",
+    )
+    led_compact.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger JSONL file/dir (default: benchmarks/ledger/ledger.jsonl)",
+    )
+    led_compact.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the compacted ledger here instead of in place",
+    )
+    led_compact.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be dropped without writing anything",
+    )
+
     bch = sub.add_parser(
         "bench",
         help="run the pinned micro/macro benchmark suite "
@@ -269,6 +322,23 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.command == "critpath":
+        from repro.obs.critpath import main as critpath_main
+
+        return critpath_main(
+            args.experiment,
+            scheme=args.scheme,
+            out=args.out,
+            folded=args.folded,
+            top=args.top,
+            as_json=args.as_json,
+        )
+    if args.command == "ledger":
+        from repro.obs.ledger import compact_main
+
+        return compact_main(
+            ledger=args.ledger, out=args.out, dry_run=args.dry_run
+        )
     if args.command == "bench":
         from repro.bench.cli import main as bench_main
 

@@ -100,14 +100,21 @@ def run_optimus_stem(
     strict_memory: bool = False,
     ledger=None,
     run_label: str = "stem",
+    trace: bool = False,
 ) -> StemResult:
-    """One forward + one checkpointed backward of the Optimus stem."""
+    """One forward + one checkpointed backward of the Optimus stem.
+
+    ``trace=True`` records spans/events so the ledger record carries a
+    critical-path attribution summary; clocks, bytes and memory peaks are
+    bit-identical either way (the tracer is append-only bookkeeping).
+    """
     sim = Simulator.for_mesh(
         q=q,
         gpus_per_node=gpus_per_node,
         arrangement_kind=arrangement,
         backend="shape",
         strict_memory=strict_memory,
+        trace=trace,
     )
     mesh = Mesh(sim, q)
     model = OptimusModel(
@@ -130,7 +137,7 @@ def run_optimus_stem(
         comm_time=max(d.comm_time for d in sim.devices),
     )
     if ledger is not None:
-        _record_stem(ledger, run_label, sim, cfg, res, q=q)
+        _record_stem(ledger, run_label, sim, cfg, res, q=q, arrangement=arrangement)
     return res
 
 
@@ -144,10 +151,12 @@ def run_megatron_stem(
     strict_memory: bool = False,
     ledger=None,
     run_label: str = "stem",
+    trace: bool = False,
 ) -> StemResult:
     """One forward + one checkpointed backward of the Megatron stem."""
     sim = Simulator.for_flat(
-        p=p, gpus_per_node=gpus_per_node, backend="shape", strict_memory=strict_memory
+        p=p, gpus_per_node=gpus_per_node, backend="shape",
+        strict_memory=strict_memory, trace=trace,
     )
     model = MegatronModel(
         sim,

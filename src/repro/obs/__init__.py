@@ -20,10 +20,18 @@ artifacts performance work is judged against:
 * :mod:`repro.obs.claims` — the paper-claims scorecard (measured ledger
   evidence vs :mod:`repro.perfmodel` predictions);
 * :mod:`repro.obs.dash` — the ``python -m repro dash`` static HTML
-  dashboard.
+  dashboard;
+* :mod:`repro.obs.critpath` — the ``python -m repro critpath`` analyzer:
+  per-rank nanosecond attribution (compute/comm/stall/overhead) with an
+  exact conservation invariant, the cross-rank critical path, and a
+  predicted-vs-measured bottleneck ranking against the α–β cost model;
+* :mod:`repro.obs.flamegraph` — collapsed-stack (folded) flamegraph
+  export for speedscope / flamegraph.pl.
 """
 
 from repro.obs.comm_matrix import comm_matrix, render_comm_matrix
+from repro.obs.critpath import attribution_summary, critpath_report
+from repro.obs.flamegraph import render_folded, validate_folded, write_folded
 from repro.obs.ledger import RunLedger, RunRecord, record_from_sim
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.openmetrics import render_registry, validate_openmetrics
@@ -46,4 +54,9 @@ __all__ = [
     "render_comm_matrix",
     "top_spans",
     "memory_report",
+    "critpath_report",
+    "attribution_summary",
+    "render_folded",
+    "write_folded",
+    "validate_folded",
 ]

@@ -1,0 +1,691 @@
+"""Critical-path analysis: attribute every nanosecond of simulated time.
+
+The simulator's counters say *how much* time went to compute vs
+communication; this module says *where* and *why*.  From a traced run it
+builds, per rank, a contiguous partition of the step window into
+:class:`Segment` s — compute kernels, collective participation, the
+receiving tail of point-to-point transfers, resilience overhead, and the
+gaps in between (barrier/straggler waits) — then walks the cross-rank
+dependency DAG backwards to extract the critical path that determines the
+step's wall-clock.
+
+Three design decisions worth knowing:
+
+* **integer nanoseconds** — all attribution is quantized to whole
+  nanoseconds (``round(t · 1e9)``).  Each rank's window is a contiguous
+  integer partition, so the conservation invariant
+  ``compute + comm + stall + overhead == wall_clock`` holds *exactly*, in
+  integer arithmetic, per rank and per window — not merely to float
+  tolerance.  Quantization only affects this report's bookkeeping; the
+  simulator's float clocks are never touched.
+* **the DAG is implicit** — bulk-synchronous semantics mean a collective's
+  start time is the barrier time of its participants, and a p2p receive
+  depends on its sender at the recorded send time.  The backward walk
+  therefore needs no materialized edge list: at a collective it jumps to
+  the participant whose preceding busy segment ends latest (the rank that
+  held everyone up, ties broken toward the lowest rank for determinism);
+  at a p2p it jumps to the sender; otherwise it steps to the previous
+  non-stall segment on the same rank.
+* **predicted vs measured** — every op on the path is re-priced with a
+  *solo* :class:`~repro.comm.cost.GroupCommModel` (built without sibling
+  groups, so NIC crowding is excluded) and compute with the device's
+  effective FLOP rate.  A measured/predicted ratio above 1 localizes
+  contention (Fig. 8 crowding) or straggler effects to a specific op;
+  a ratio far from 1 on an intra-node collective flags a cost-model bug.
+
+Everything here is read-only over the simulator — running the analyzer
+cannot change numerics, clocks or byte counters (tested in
+``tests/test_critpath.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+CRITPATH_SCHEMA = "repro-critpath-v1"
+
+#: attribution categories; every nanosecond lands in exactly one
+CATEGORIES = ("compute", "comm", "stall", "overhead")
+
+#: trace-event kinds priced by the α–β collective model
+COLLECTIVE_KINDS = (
+    "broadcast", "reduce", "all_reduce", "all_gather", "reduce_scatter",
+    "scatter", "gather",
+)
+
+#: trace-event kinds produced by the resilience subsystem
+OVERHEAD_KINDS = ("fault", "checkpoint", "recovery")
+
+
+def _ns(t: float) -> int:
+    return int(round(t * 1e9))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous slice of one rank's timeline, in integer ns."""
+
+    rank: int
+    start_ns: int
+    end_ns: int
+    category: str  # compute | comm | stall | overhead
+    kind: str = ""  # event kind ("compute", "broadcast", …); "" for stalls
+    label: str = ""  # kernel kind or process-group kind
+    op: str = ""  # enclosing op span (summa_ab, …), when resolvable
+    layer: str = ""  # enclosing layer span ("layer3.forward"), when resolvable
+    nbytes: float = 0.0
+    event_index: int = -1  # index into tracer.events, -1 for stalls
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class Attribution:
+    """Integer-ns totals per category; sums telescope exactly."""
+
+    compute_ns: int = 0
+    comm_ns: int = 0
+    stall_ns: int = 0
+    overhead_ns: int = 0
+
+    def add(self, category: str, ns: int) -> None:
+        setattr(self, category + "_ns", getattr(self, category + "_ns") + ns)
+
+    @property
+    def total_ns(self) -> int:
+        return self.compute_ns + self.comm_ns + self.stall_ns + self.overhead_ns
+
+    def as_dict(self) -> dict:
+        return {
+            "compute_ns": self.compute_ns,
+            "comm_ns": self.comm_ns,
+            "stall_ns": self.stall_ns,
+            "overhead_ns": self.overhead_ns,
+            "total_ns": self.total_ns,
+        }
+
+
+@dataclass
+class Window:
+    """One analysis window (a training step, or the whole run)."""
+
+    label: str
+    start_ns: int
+    end_ns: int
+    timelines: Dict[int, List[Segment]] = field(default_factory=dict)
+
+    @property
+    def wall_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+# ----------------------------------------------------------------------
+# span containment (layer / op labels for segments)
+# ----------------------------------------------------------------------
+class _SpanIndex:
+    """Per-rank sorted span lists for midpoint-containment lookups."""
+
+    def __init__(self, spans, category: str):
+        self._by_rank: Dict[int, Tuple[List[int], List] ] = {}
+        per_rank: Dict[int, List] = {}
+        for s in spans:
+            if s.category == category:
+                per_rank.setdefault(s.rank, []).append(s)
+        for rank, lst in per_rank.items():
+            lst.sort(key=lambda s: (_ns(s.t_start), -_ns(s.t_end)))
+            self._by_rank[rank] = ([_ns(s.t_start) for s in lst], lst)
+
+    def enclosing(self, rank: int, start_ns: int, end_ns: int):
+        """The innermost span on ``rank`` containing the segment midpoint.
+
+        Midpoint containment suffices: busy segments never straddle a span
+        boundary of their own rank (collectives and kernels execute inside
+        the span that issued them).
+        """
+        entry = self._by_rank.get(rank)
+        if entry is None:
+            return None
+        starts, spans = entry
+        mid = (start_ns + end_ns) // 2
+        i = bisect.bisect_right(starts, mid) - 1
+        while i >= 0:
+            if _ns(spans[i].t_end) >= mid:
+                return spans[i]
+            i -= 1
+        return None
+
+
+def _layer_name(span) -> str:
+    attrs = span.attrs or {}
+    idx, phase = attrs.get("index"), attrs.get("phase")
+    if idx is None:
+        return span.name
+    return f"layer{idx}.{phase}" if phase else f"layer{idx}"
+
+
+# ----------------------------------------------------------------------
+# timeline construction
+# ----------------------------------------------------------------------
+def _event_category(kind: str) -> Optional[str]:
+    if kind == "compute":
+        return "compute"
+    if kind in COLLECTIVE_KINDS or kind == "p2p":
+        return "comm"
+    if kind in OVERHEAD_KINDS:
+        return "overhead"
+    return None
+
+
+def build_windows(sim) -> List[Window]:
+    """Partition the traced run into per-rank contiguous segment timelines.
+
+    Windows come from ``"step"`` spans when the workload recorded them
+    (training runs); otherwise the whole run is one window (stems).  Within
+    a window every rank's segments tile ``[start_ns, end_ns]`` exactly:
+    busy atoms from trace events (clipped against one another — a p2p
+    receive that arrives while the receiver is still busy only contributes
+    its uncovered tail), stall segments filling every gap.
+    """
+    tracer = sim.tracer
+    step_spans = [s for s in tracer.spans if s.category == "step"]
+    windows: List[Window] = []
+    if step_spans:
+        by_sid: Dict[int, List] = {}
+        for s in step_spans:
+            by_sid.setdefault(s.sid, []).append(s)
+        for sid in sorted(by_sid):
+            group = by_sid[sid]
+            step_no = (group[0].attrs or {}).get("step", len(windows))
+            windows.append(Window(
+                label=f"step{step_no}",
+                start_ns=min(_ns(s.t_start) for s in group),
+                end_ns=max(_ns(s.t_end) for s in group),
+            ))
+    else:
+        windows.append(Window(label="run", start_ns=0, end_ns=_ns(sim.elapsed())))
+
+    layer_index = _SpanIndex(tracer.spans, "layer")
+    op_index = _SpanIndex(tracer.spans, "op")
+
+    # busy atoms: (rank, start_ns, end_ns, category, event, event_index)
+    atoms: Dict[int, List[Tuple[int, int, str, object, int]]] = {
+        r: [] for r in range(sim.num_ranks)
+    }
+    for idx, e in enumerate(tracer.events):
+        category = _event_category(e.kind)
+        if category is None:
+            continue
+        a, b = _ns(e.t_start), _ns(e.t_end)
+        if b <= a:
+            continue
+        if e.kind == "compute":
+            targets: Sequence[int] = (e.ranks[0],)
+        elif e.kind == "p2p":
+            targets = (e.ranks[1],)  # the sender's copy engine does not stall
+        else:
+            targets = e.ranks
+        for r in targets:
+            atoms[r].append((a, b, category, e, idx))
+
+    for w in windows:
+        for r in range(sim.num_ranks):
+            segs: List[Segment] = []
+            cursor = w.start_ns
+            for a, b, category, e, idx in sorted(
+                atoms[r], key=lambda t: (t[0], t[1])
+            ):
+                if b <= w.start_ns or a >= w.end_ns:
+                    continue
+                a, b = max(a, w.start_ns), min(b, w.end_ns)
+                if b <= cursor:
+                    continue  # fully shadowed by earlier activity
+                a = max(a, cursor)
+                if a > cursor:
+                    segs.append(Segment(r, cursor, a, "stall"))
+                layer = layer_index.enclosing(r, a, b)
+                op = op_index.enclosing(r, a, b)
+                segs.append(Segment(
+                    rank=r, start_ns=a, end_ns=b, category=category,
+                    kind=e.kind, label=e.label,
+                    op=op.name if op is not None else "",
+                    layer=_layer_name(layer) if layer is not None else "",
+                    nbytes=e.nbytes, event_index=idx,
+                ))
+                cursor = b
+            if cursor < w.end_ns:
+                segs.append(Segment(r, cursor, w.end_ns, "stall"))
+            w.timelines[r] = segs
+    return windows
+
+
+def attribute_window(w: Window) -> Dict[int, Attribution]:
+    """Per-rank category totals; each rank's total equals the window exactly."""
+    out: Dict[int, Attribution] = {}
+    for rank, segs in sorted(w.timelines.items()):
+        att = Attribution()
+        for s in segs:
+            att.add(s.category, s.duration_ns)
+        out[rank] = att
+    return out
+
+
+# ----------------------------------------------------------------------
+# the critical path
+# ----------------------------------------------------------------------
+def critical_path(w: Window, events) -> List[Segment]:
+    """Backward walk from the window's end to its start.
+
+    Returns the chain of segments (oldest first) whose durations bound the
+    window's wall-clock: at each collective the walk jumps to the
+    participant that arrived last at the barrier; at a p2p receive it jumps
+    to the sender; otherwise it continues on the same rank.
+    """
+    # locate each event's segment per rank, and each segment's list index
+    seg_at: Dict[Tuple[int, int], int] = {}  # (event_index, rank) -> seg idx
+    for rank, segs in w.timelines.items():
+        for i, s in enumerate(segs):
+            if s.event_index >= 0:
+                seg_at[(s.event_index, rank)] = i
+
+    def prev_busy(rank: int, idx: int) -> Optional[int]:
+        """Index of the nearest non-stall segment strictly before ``idx``."""
+        segs = w.timelines[rank]
+        i = idx - 1
+        while i >= 0:
+            if segs[i].category != "stall":
+                return i
+            i -= 1
+        return None
+
+    # start on the rank whose last busy segment ends latest (the rank that
+    # sets the window's end); ties toward the lowest rank for determinism
+    start_rank, start_idx, best_end = -1, None, -1
+    for rank in sorted(w.timelines):
+        segs = w.timelines[rank]
+        i = len(segs) - 1
+        while i >= 0 and segs[i].category == "stall":
+            i -= 1
+        if i >= 0 and segs[i].end_ns > best_end:
+            start_rank, start_idx, best_end = rank, i, segs[i].end_ns
+    if start_idx is None:
+        return []
+
+    path: List[Segment] = []
+    rank, idx = start_rank, start_idx
+    while idx is not None:
+        seg = w.timelines[rank][idx]
+        path.append(seg)
+        if seg.start_ns <= w.start_ns:
+            break
+        nxt: Optional[Tuple[int, int]] = None
+        e = events[seg.event_index] if seg.event_index >= 0 else None
+        if e is not None and seg.kind in COLLECTIVE_KINDS:
+            # the collective started when its last participant arrived
+            blocker, blocker_idx, blocker_end = None, None, -1
+            for p in sorted(e.ranks):
+                at = seg_at.get((seg.event_index, p))
+                if at is None:
+                    continue
+                pb = prev_busy(p, at)
+                end = w.timelines[p][pb].end_ns if pb is not None else w.start_ns
+                if end > blocker_end:
+                    blocker, blocker_idx, blocker_end = p, pb, end
+            if blocker is not None and blocker_idx is not None:
+                nxt = (blocker, blocker_idx)
+        elif e is not None and seg.kind == "p2p":
+            src = e.ranks[0]
+            send_ns = _ns(e.t_start)
+            segs = w.timelines.get(src, [])
+            i = len(segs) - 1
+            while i >= 0 and (segs[i].category == "stall" or segs[i].end_ns > send_ns):
+                i -= 1
+            if i >= 0:
+                nxt = (src, i)
+        if nxt is None:
+            pb = prev_busy(rank, idx)
+            nxt = (rank, pb) if pb is not None else None
+        if nxt is None:
+            break
+        # every hop lands on a segment ending at or before the current
+        # segment's start (BSP barriers and p2p send times guarantee it),
+        # so the walk makes strict backward progress and terminates
+        rank, idx = nxt
+    path.reverse()
+    return path
+
+
+# ----------------------------------------------------------------------
+# predicted pricing (the α–β audit)
+# ----------------------------------------------------------------------
+class CostAuditor:
+    """Re-prices traced ops with a solo (crowding-free) cost model."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._models: Dict[Tuple[int, ...], object] = {}
+
+    def _model(self, ranks: Tuple[int, ...]):
+        model = self._models.get(ranks)
+        if model is None:
+            from repro.comm.cost import GroupCommModel
+
+            model = GroupCommModel.build(
+                self._sim.topology, self._sim.arrangement, list(ranks)
+            )
+            self._models[ranks] = model
+        return model
+
+    def predicted_s(self, e) -> Optional[float]:
+        """Solo α–β prediction of one traced event's duration, in seconds."""
+        if e.kind == "compute":
+            flops = float((e.attrs or {}).get("flops", 0.0))
+            return flops / self._sim.cluster.device.effective_flops
+        if e.kind == "p2p":
+            arr = self._sim.arrangement
+            return self._sim.topology.p2p_time(
+                arr.gpu_of(e.ranks[0]), arr.gpu_of(e.ranks[1]), e.nbytes
+            )
+        if e.kind not in COLLECTIVE_KINDS:
+            return None
+        model = self._model(tuple(sorted(e.ranks)))
+        if e.kind in ("broadcast", "scatter"):
+            return model.broadcast_time(e.nbytes)
+        if e.kind in ("reduce", "gather"):
+            return model.reduce_time(e.nbytes)
+        if e.kind == "all_reduce":
+            return model.all_reduce_time(e.nbytes)
+        if e.kind == "all_gather":
+            return model.all_gather_time(e.nbytes)
+        return model.reduce_scatter_time(e.nbytes)  # reduce_scatter
+
+
+def _segment_key(seg: Segment) -> str:
+    """Stable aggregation key: category/kind[/label][@op]."""
+    bits = [seg.category]
+    if seg.kind and seg.kind != seg.category:
+        bits.append(seg.kind)
+    if seg.label:
+        bits.append(seg.label)
+    key = "/".join(bits)
+    if seg.op:
+        key += f"@{seg.op}"
+    return key
+
+
+def rank_bottlenecks(
+    path: List[Segment], events, auditor: CostAuditor
+) -> List[dict]:
+    """Aggregate path segments by op key; rank by measured time on the path.
+
+    Each entry carries the solo α–β prediction so the two orderings the
+    report exposes — by measured cost and by measured/predicted ratio —
+    come from the same rows.
+    """
+    agg: Dict[str, dict] = {}
+    for seg in path:
+        if seg.category == "stall":
+            key = "stall/barrier-wait"
+        else:
+            key = _segment_key(seg)
+        row = agg.setdefault(key, {
+            "key": key, "category": seg.category, "kind": seg.kind,
+            "count": 0, "measured_ns": 0, "predicted_ns": 0,
+        })
+        row["count"] += 1
+        row["measured_ns"] += seg.duration_ns
+        if seg.event_index >= 0:
+            pred = auditor.predicted_s(events[seg.event_index])
+            if pred is not None:
+                # prediction prices the whole event; the segment may be a
+                # clipped tail, so scale by the covered fraction
+                e = events[seg.event_index]
+                full = _ns(e.t_end) - _ns(e.t_start)
+                frac = seg.duration_ns / full if full > 0 else 0.0
+                row["predicted_ns"] += int(round(pred * 1e9 * frac))
+    rows = sorted(agg.values(), key=lambda r: (-r["measured_ns"], r["key"]))
+    for row in rows:
+        row["ratio"] = (
+            row["measured_ns"] / row["predicted_ns"] if row["predicted_ns"] else None
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+def _aggregate_by(segs: List[Segment], key_fn) -> Dict[str, Attribution]:
+    out: Dict[str, Attribution] = {}
+    for s in segs:
+        key = key_fn(s)
+        if not key:
+            continue
+        out.setdefault(key, Attribution()).add(s.category, s.duration_ns)
+    return out
+
+
+def critpath_report(sim, max_path_segments: int = 512) -> dict:
+    """The full deterministic analysis document for a traced simulator run.
+
+    Byte-stable: contains no timestamps, hostnames or git state — two runs
+    of the same seeded workload serialize identically under
+    :func:`repro.obs.ledger.canonical_json`.  ``max_path_segments`` bounds
+    only the verbatim per-segment listing; aggregates always cover the
+    whole path, and ``path_truncated`` says when the listing was cut.
+    """
+    if not sim.tracer.events:
+        raise ValueError(
+            "critpath needs a traced run: construct the Simulator with "
+            "trace=True (or set sim.tracer.enabled) before executing"
+        )
+    events = sim.tracer.events
+    auditor = CostAuditor(sim)
+    windows = build_windows(sim)
+    win_docs = []
+    run_total = Attribution()
+    path_total = Attribution()
+    for w in windows:
+        per_rank = attribute_window(w)
+        conservation_ok = all(
+            att.total_ns == w.wall_ns for att in per_rank.values()
+        )
+        path = critical_path(w, events)
+        path_att = Attribution()
+        for s in path:
+            path_att.add(s.category, s.duration_ns)
+        # the walk's hops are contiguous except for sub-ns rounding and
+        # explicit sender idle gaps; fold the remainder into stall so the
+        # path attribution conserves the window exactly too
+        slack = w.wall_ns - path_att.total_ns
+        path_att.stall_ns += slack
+        bottlenecks = rank_bottlenecks(path, events, auditor)
+        all_segs = [s for segs in w.timelines.values() for s in segs]
+        for att in per_rank.values():
+            for c in CATEGORIES:
+                run_total.add(c, getattr(att, c + "_ns"))
+        for c in CATEGORIES:
+            path_total.add(c, getattr(path_att, c + "_ns"))
+        seg_docs = [
+            {
+                "rank": s.rank, "start_ns": s.start_ns, "end_ns": s.end_ns,
+                "category": s.category, "kind": s.kind, "label": s.label,
+                "op": s.op, "layer": s.layer,
+            }
+            for s in path[:max_path_segments]
+        ]
+        win_docs.append({
+            "label": w.label,
+            "start_ns": w.start_ns,
+            "end_ns": w.end_ns,
+            "wall_ns": w.wall_ns,
+            "conservation_ok": conservation_ok,
+            "per_rank": [
+                {"rank": r, **att.as_dict()} for r, att in sorted(per_rank.items())
+            ],
+            "by_layer": {
+                k: v.as_dict()
+                for k, v in sorted(_aggregate_by(all_segs, lambda s: s.layer).items())
+            },
+            "by_kind": {
+                k: v.as_dict()
+                for k, v in sorted(_aggregate_by(all_segs, lambda s: s.kind).items())
+            },
+            "critical_path": {
+                "num_segments": len(path),
+                "path_truncated": len(path) > max_path_segments,
+                **path_att.as_dict(),
+                "segments": seg_docs,
+            },
+            "bottlenecks": bottlenecks,
+        })
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "num_ranks": sim.num_ranks,
+        "num_windows": len(windows),
+        "wall_clock_ns": _ns(sim.elapsed()),
+        "windows": win_docs,
+        "totals": {
+            "per_rank_sum": run_total.as_dict(),
+            "critical_path": path_total.as_dict(),
+        },
+    }
+
+
+def attribution_summary(sim) -> dict:
+    """The compact per-run summary stored in ledger records.
+
+    A strict subset of :func:`critpath_report`: run-level category totals,
+    the critical path's split, and the top measured bottlenecks — small
+    enough to commit per ledger line, rich enough for the dashboard's
+    Attribution section.
+    """
+    doc = critpath_report(sim, max_path_segments=0)
+    bottlenecks: Dict[str, dict] = {}
+    for w in doc["windows"]:
+        for row in w["bottlenecks"]:
+            acc = bottlenecks.setdefault(row["key"], {
+                "key": row["key"], "category": row["category"],
+                "measured_ns": 0, "predicted_ns": 0, "count": 0,
+            })
+            acc["measured_ns"] += row["measured_ns"]
+            acc["predicted_ns"] += row["predicted_ns"]
+            acc["count"] += row["count"]
+    top = sorted(
+        bottlenecks.values(), key=lambda r: (-r["measured_ns"], r["key"])
+    )[:8]
+    for row in top:
+        row["ratio"] = (
+            row["measured_ns"] / row["predicted_ns"] if row["predicted_ns"] else None
+        )
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "wall_clock_ns": doc["wall_clock_ns"],
+        "num_windows": doc["num_windows"],
+        "conservation_ok": all(w["conservation_ok"] for w in doc["windows"]),
+        "per_rank_sum": doc["totals"]["per_rank_sum"],
+        "critical_path": doc["totals"]["critical_path"],
+        "top_bottlenecks": top,
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.4f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.3f} µs"
+    return f"{ns} ns"
+
+
+def render_report(doc: dict, top: int = 12) -> str:
+    """Human-readable tables for one :func:`critpath_report` document."""
+    from repro.utils.tables import format_table
+
+    out = []
+    totals = doc["totals"]["per_rank_sum"]
+    path = doc["totals"]["critical_path"]
+    rows = [
+        [c, _fmt_ns(totals[c + "_ns"]),
+         f"{totals[c + '_ns'] / totals['total_ns']:.1%}" if totals["total_ns"] else "—",
+         _fmt_ns(path[c + "_ns"]),
+         f"{path[c + '_ns'] / path['total_ns']:.1%}" if path["total_ns"] else "—"]
+        for c in CATEGORIES
+    ]
+    out.append(format_table(
+        ["category", "all ranks", "share", "critical path", "share"],
+        rows,
+        title=(f"Time attribution — {doc['num_ranks']} ranks, "
+               f"{doc['num_windows']} window(s), "
+               f"wall {_fmt_ns(doc['wall_clock_ns'])}"),
+    ))
+    merged: Dict[str, dict] = {}
+    for w in doc["windows"]:
+        for row in w["bottlenecks"]:
+            acc = merged.setdefault(row["key"], dict(row))
+            if acc is not row:
+                acc["count"] += row["count"]
+                acc["measured_ns"] += row["measured_ns"]
+                acc["predicted_ns"] += row["predicted_ns"]
+    rows = []
+    for row in sorted(merged.values(), key=lambda r: (-r["measured_ns"], r["key"]))[:top]:
+        ratio = (row["measured_ns"] / row["predicted_ns"]
+                 if row["predicted_ns"] else None)
+        rows.append([
+            row["key"], row["count"], _fmt_ns(row["measured_ns"]),
+            _fmt_ns(row["predicted_ns"]) if row["predicted_ns"] else "—",
+            f"{ratio:.2f}" if ratio is not None else "—",
+        ])
+    out.append(format_table(
+        ["op (critical path)", "count", "measured", "predicted (solo α–β)",
+         "meas/pred"],
+        rows, title="Ranked bottlenecks on the critical path",
+    ))
+    conserved = all(w["conservation_ok"] for w in doc["windows"])
+    out.append(
+        "conservation: attributed time == wall-clock on every rank, exactly"
+        if conserved else "conservation: VIOLATED (this is a bug — please report)"
+    )
+    return "\n\n".join(out)
+
+
+def main(
+    experiment: str,
+    scheme: str = "optimus",
+    out: Optional[str] = None,
+    folded: Optional[str] = None,
+    top: int = 12,
+    as_json: bool = False,
+    printer=print,
+) -> int:
+    """``python -m repro critpath`` driver: trace a workload, analyze it."""
+    from repro.obs.ledger import canonical_json
+    from repro.obs.profile import run_profile
+
+    sim = run_profile(experiment, scheme=scheme)
+    doc = critpath_report(sim)
+    text = canonical_json(doc)
+    if as_json:
+        printer(text)
+    else:
+        printer(render_report(doc, top=top))
+    if out:
+        with open(out, "w") as f:
+            f.write(text)
+            f.write("\n")
+        if not as_json:
+            printer(f"critpath JSON written to {out}")
+    if folded:
+        from repro.obs.flamegraph import write_folded
+
+        n = write_folded(sim, folded)
+        if not as_json:
+            printer(f"folded flamegraph written to {folded} ({n} stacks) — "
+                    "open with speedscope or flamegraph.pl")
+    return 0

@@ -7,8 +7,12 @@ plus an OpenMetrics text file:
 * **paper-claims scorecard** — the :mod:`repro.obs.claims` verdicts with
   measured-vs-predicted ratios (status is icon + label, never color
   alone);
+* **attribution** — the :mod:`repro.obs.critpath` summary carried by
+  traced ledger records: compute/comm/stall/overhead split per run, the
+  exact-conservation verdict and the top critical-path bottleneck;
 * **trends** — simulated clock, peak memory and communication volume per
-  ledger record, in append order;
+  ledger record in append order, plus per-metric sparklines keyed on git
+  revision (newest value per revision);
 * **bench regressions** — normalized wall-clock deltas against
   ``benchmarks/baseline.json``;
 * **run table** — every ledger record with its content-hash ``run_id``.
@@ -137,6 +141,51 @@ def trend_series(records: Sequence[RunRecord]) -> dict:
     return {"clock": clock, "memory": memory, "comm": comm}
 
 
+def sparkline_series(records: Sequence[RunRecord]) -> dict:
+    """Per-metric (git_rev, value) points — newest value per revision.
+
+    Revisions keep first-appearance order, so the sparkline reads left to
+    right as the ledger's revision history.
+    """
+    per_metric: dict = {"clock": {}, "memory": {}, "comm": {}}
+    revs: List[str] = []
+    for r in records:
+        rev = r.git or "unknown"
+        if rev not in revs:
+            revs.append(rev)
+        if r.clock is not None:
+            per_metric["clock"][rev] = float(r.clock)
+        c = r.counters or {}
+        if c.get("peak_memory_bytes"):
+            per_metric["memory"][rev] = float(c["peak_memory_bytes"])
+        if c.get("total_bytes_comm"):
+            per_metric["comm"][rev] = float(c["total_bytes_comm"])
+    return {
+        name: [(rev, vals[rev]) for rev in revs if rev in vals]
+        for name, vals in per_metric.items()
+    }
+
+
+def attribution_rows(records: Sequence[RunRecord]) -> List[dict]:
+    """One row per ledger record that carries a critpath attribution."""
+    rows = []
+    for r in records:
+        a = r.attribution
+        if not a or not a.get("per_rank_sum"):
+            continue
+        top = (a.get("top_bottlenecks") or [{}])[0]
+        rows.append({
+            "record": _record_label(r),
+            "run_id": r.run_id,
+            "wall_clock_ns": a.get("wall_clock_ns", 0),
+            "split": a["per_rank_sum"],
+            "conservation_ok": bool(a.get("conservation_ok")),
+            "top_key": top.get("key", "—"),
+            "top_ratio": top.get("ratio"),
+        })
+    return rows
+
+
 def bench_comparison(records: Sequence[RunRecord], baseline_path: Optional[str],
                      threshold: float = 0.20) -> List[dict]:
     """Regression rows from the newest bench record (stored or recomputed)."""
@@ -197,6 +246,57 @@ def _bar_chart(items: List[Tuple[str, float]], fmt=lambda v: f"{v:.3g}") -> str:
     )
 
 
+def _sparkline(points: List[Tuple[str, float]], fmt=lambda v: f"{v:.3g}") -> str:
+    """A tiny inline polyline over per-revision values (hover for detail)."""
+    if not points:
+        return '<span class="muted">no data</span>'
+    w, h, pad = 160, 26, 4
+    vals = [v for _, v in points]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    step = (w - 2 * pad) / max(1, len(points) - 1)
+    coords = []
+    for i, (_, v) in enumerate(points):
+        x = pad + i * step
+        y = h - pad - (v - lo) / span * (h - 2 * pad)
+        coords.append((x, y))
+    title = " → ".join(f"{rev[:9]}: {fmt(v)}" for rev, v in points)
+    poly = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    lx, ly = coords[-1]
+    return (
+        f'<svg viewBox="0 0 {w} {h}" class="spark" role="img" '
+        f'style="width:{w}px;height:{h}px">'
+        f"<title>{html.escape(title)}</title>"
+        f'<polyline points="{poly}" class="spark-line"/>'
+        f'<circle cx="{lx:.1f}" cy="{ly:.1f}" r="2.5" class="spark-dot"/></svg>'
+    )
+
+
+_ATT_CATEGORIES = ("compute", "comm", "stall", "overhead")
+
+
+def _att_bar(split: dict) -> str:
+    """A stacked category bar (percentages live in the adjacent cells)."""
+    total = split.get("total_ns") or 1
+    w, h = 220, 12
+    x, parts = 0.0, []
+    for cat in _ATT_CATEGORIES:
+        ns = split.get(f"{cat}_ns", 0)
+        wpx = ns / total * w
+        if wpx <= 0:
+            continue
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{wpx:.1f}" height="{h}" '
+            f'class="att-{cat}"><title>{cat}: {100.0 * ns / total:.1f}%'
+            f"</title></rect>"
+        )
+        x += wpx
+    return (
+        f'<svg viewBox="0 0 {w} {h}" role="img" '
+        f'style="width:{w}px;height:{h}px">' + "".join(parts) + "</svg>"
+    )
+
+
 # ----------------------------------------------------------------------
 # HTML
 # ----------------------------------------------------------------------
@@ -238,6 +338,13 @@ _CSS = """
 .viz-root svg .axis { stroke: var(--grid); stroke-width: 1; }
 .viz-root svg text { font: 11px system-ui, sans-serif; fill: var(--text-primary); }
 .viz-root svg .tick, .viz-root svg .val { fill: var(--text-secondary); }
+.viz-root svg .spark-line { fill: none; stroke: var(--series-1); stroke-width: 1.5; }
+.viz-root svg .spark-dot { fill: var(--series-1); }
+.viz-root svg.spark { vertical-align: middle; }
+.viz-root svg .att-compute { fill: #2a78d6; }
+.viz-root svg .att-comm { fill: #d98a2b; }
+.viz-root svg .att-stall { fill: #9a9994; }
+.viz-root svg .att-overhead { fill: #8a5fd0; }
 .viz-root .status-good { color: var(--status-good); }
 .viz-root .status-critical { color: var(--status-critical); }
 .viz-root .status-muted { color: var(--text-secondary); }
@@ -274,9 +381,62 @@ def _claims_section(card: dict) -> str:
     )
 
 
-def _trends_section(series: dict) -> str:
+def _attribution_section(rows: List[dict]) -> str:
+    if not rows:
+        body = ("<p class='muted'>no traced records yet (run "
+                "<code>repro critpath …</code> or any stem with tracing to "
+                "attach attribution summaries to the ledger)</p>")
+        return f"<section><h2>Attribution (critical path)</h2>{body}</section>"
+    trs = []
+    for row in rows:
+        split = row["split"]
+        total = split.get("total_ns") or 1
+        pct = {
+            cat: 100.0 * split.get(f"{cat}_ns", 0) / total
+            for cat in _ATT_CATEGORIES
+        }
+        ratio = row["top_ratio"]
+        top = html.escape(row["top_key"])
+        if ratio is not None:
+            top += f" ({ratio:.2f}× predicted)"
+        trs.append(
+            f"<tr><td>{html.escape(row['record'])}</td>"
+            f"<td>{row['wall_clock_ns'] / 1e9:.6f} s</td>"
+            f"<td>{pct['compute']:.1f}%</td><td>{pct['comm']:.1f}%</td>"
+            f"<td>{pct['stall']:.1f}%</td><td>{pct['overhead']:.1f}%</td>"
+            f"<td>{_att_bar(split)}</td>"
+            f"<td>{_status_cell('pass' if row['conservation_ok'] else 'fail')}</td>"
+            f"<td><code>{top}</code></td></tr>"
+        )
+    return (
+        "<section><h2>Attribution (critical path)</h2>"
+        "<p class='muted'>per-rank nanosecond attribution from "
+        "<code>repro.obs.critpath</code>; conservation means attributed time "
+        "equals wall-clock on every rank, exactly</p>"
+        "<table><tr><th>record</th><th>wall clock</th><th>compute</th>"
+        "<th>comm</th><th>stall</th><th>overhead</th><th>split</th>"
+        "<th>conservation</th><th>top bottleneck</th></tr>"
+        + "".join(trs) + "</table></section>"
+    )
+
+
+def _trends_section(series: dict, sparks: dict) -> str:
+    spark_rows = "".join(
+        f"<tr><td>{label}</td><td>{_sparkline(sparks[key], fmt=fmt)}</td>"
+        f"<td>{html.escape(fmt(sparks[key][-1][1])) if sparks[key] else '—'}"
+        f"</td><td class='muted'>{len(sparks[key])} revision"
+        f"{'s' if len(sparks[key]) != 1 else ''}</td></tr>"
+        for key, label, fmt in (
+            ("clock", "sim clock", lambda v: f"{v:.3f} s"),
+            ("memory", "peak memory", _fmt_bytes),
+            ("comm", "comm volume", _fmt_bytes),
+        )
+    )
     return (
         "<section><h2>Trends across ledger records</h2>"
+        "<h3 class='muted'>By git revision (newest value per revision)</h3>"
+        "<table><tr><th>metric</th><th>trend</th><th>latest</th>"
+        "<th></th></tr>" + spark_rows + "</table>"
         "<h3 class='muted'>Simulated clock (slowest rank, seconds)</h3>"
         + _bar_chart(series["clock"], fmt=lambda v: f"{v:.3f} s")
         + "<h3 class='muted'>Peak device memory</h3>"
@@ -350,7 +510,8 @@ def render_html(records: Sequence[RunRecord], card: dict,
         f"<p class='muted'>{len(records)} ledger records ({counts}) · "
         f"git <code>{html.escape(git_revision())}</code></p>"
         + _claims_section(card)
-        + _trends_section(trend_series(records))
+        + _attribution_section(attribution_rows(records))
+        + _trends_section(trend_series(records), sparkline_series(records))
         + _regressions_section(regressions)
         + _runs_section(records)
         + "</body></html>"

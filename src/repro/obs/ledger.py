@@ -112,6 +112,7 @@ class RunRecord:
     counters: Optional[dict] = None  # aggregate flops/bytes/peak across ranks
     watermarks: Optional[List[dict]] = None  # per-rank high-water counters
     metrics: Optional[List[dict]] = None  # MetricsRegistry.export() entries
+    attribution: Optional[dict] = None  # critpath summary (traced runs only)
     extra: dict = field(default_factory=dict)  # kind-specific payload
     git: str = field(default_factory=git_revision)
     schema: str = LEDGER_SCHEMA
@@ -163,6 +164,8 @@ def record_from_sim(
 
     Pure read-only: nothing here touches clocks, memory meters, traces or
     numerics, which is what keeps ledger-on and ledger-off runs bit-identical.
+    Traced runs additionally carry a critical-path attribution summary
+    (:func:`repro.obs.critpath.attribution_summary` — also read-only).
     """
     cfg_doc = None
     if config is not None:
@@ -179,6 +182,11 @@ def record_from_sim(
     }
     if mesh:
         mesh_doc.update(mesh)
+    attribution = None
+    if sim.tracer.enabled and sim.tracer.events:
+        from repro.obs.critpath import attribution_summary
+
+        attribution = json_safe(attribution_summary(sim))
     return RunRecord(
         kind=kind,
         label=label,
@@ -197,6 +205,7 @@ def record_from_sim(
         },
         watermarks=sim.watermarks(),
         metrics=sim.metrics.export(),
+        attribution=attribution,
         extra=dict(extra or {}),
     )
 
@@ -266,3 +275,107 @@ def latest(records: Iterable[RunRecord], **match) -> Optional[RunRecord]:
         if all(getattr(r, k, None) == v for k, v in match.items()):
             found = r
     return found
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+def _compact_key(record: RunRecord) -> tuple:
+    """The identity a compacted ledger keeps one (latest) record for.
+
+    Centered on (config fingerprint, git revision), widened by the fields
+    that legitimately distinguish runs of the same config at the same
+    revision: kind, scheme, label, mesh shape and arrangement.
+    """
+    fingerprint = (record.config or {}).get("fingerprint")
+    mesh = record.mesh or {}
+    return (
+        record.kind,
+        record.scheme,
+        record.label,
+        fingerprint,
+        record.git,
+        mesh.get("ranks"),
+        mesh.get("q"),
+        mesh.get("arrangement"),
+    )
+
+
+def compact(ledger, out: Optional[str] = None) -> dict:
+    """Rewrite a ledger keeping only the latest record per compaction key.
+
+    ``ledger`` is a :class:`RunLedger` or a path.  Surviving lines are
+    preserved **byte-for-byte** (never re-serialized),
+    so content-hash ``run_id`` s are stable across compaction, and the
+    rewrite is atomic (temp file + ``os.replace``) so a crash mid-compact
+    cannot lose the ledger.  Relative order of survivors is unchanged.
+    Returns a summary dict: kept/dropped counts and the output path.
+    """
+    import tempfile
+
+    if isinstance(ledger, str):
+        ledger = RunLedger(ledger)
+    lines: List[str] = []
+    if os.path.exists(ledger.path):
+        with open(ledger.path) as f:
+            lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    keep_for: dict = {}
+    keyed: List[tuple] = []
+    for i, line in enumerate(lines):
+        record = RunRecord.from_json(json.loads(line))
+        key = _compact_key(record)
+        keep_for[key] = i  # later lines win
+        keyed.append((i, key, line))
+    survivors = [line for i, key, line in keyed if keep_for[key] == i]
+    target = out or ledger.path
+    parent = os.path.dirname(target) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=".ledger-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            for line in survivors:
+                f.write(line)
+                f.write("\n")
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return {
+        "path": target,
+        "read": len(lines),
+        "kept": len(survivors),
+        "dropped": len(lines) - len(survivors),
+    }
+
+
+def compact_main(
+    ledger: Optional[str] = None,
+    out: Optional[str] = None,
+    dry_run: bool = False,
+    printer=print,
+) -> int:
+    """``python -m repro ledger compact`` driver."""
+    led = RunLedger(ledger) if ledger else RunLedger.default()
+    if not os.path.exists(led.path):
+        printer(f"no ledger at {led.path}; nothing to compact")
+        return 1
+    if dry_run:
+        records = led.read()
+        keep: dict = {}
+        for i, r in enumerate(records):
+            keep[_compact_key(r)] = i
+        dropped = len(records) - len(keep)
+        printer(
+            f"{led.path}: {len(records)} records, would keep {len(keep)}, "
+            f"drop {dropped} (dry run; no changes written)"
+        )
+        return 0
+    summary = compact(led, out=out)
+    printer(
+        f"{summary['path']}: kept {summary['kept']} of {summary['read']} "
+        f"records ({summary['dropped']} superseded)"
+    )
+    return 0

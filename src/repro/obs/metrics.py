@@ -19,14 +19,23 @@ LabelKey = Tuple[str, Tuple[Tuple[str, object], ...]]
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
 
-    __slots__ = ("name", "labels", "value")
+    ``created`` is the counter's *reset epoch*: 0 for a counter born in
+    this process, bumped each time its value is restored from a
+    checkpoint (see :meth:`MetricsRegistry.restore_counters`).  The
+    OpenMetrics exporter publishes it as the ``_created`` sample, which
+    is how scrapers distinguish a genuine counter restart from a missed
+    increment.
+    """
+
+    __slots__ = ("name", "labels", "value", "created")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self.created = 0
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -199,8 +208,41 @@ class MetricsRegistry:
                 entry.update(self._histogram_summary(m))
             else:
                 entry["value"] = m.value
+                if isinstance(m, Counter):
+                    entry["created"] = m.created
             out.append(entry)
         return out
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore (counters only)
+    # ------------------------------------------------------------------
+    def counters_state(self) -> List[dict]:
+        """A JSON-serializable snapshot of every counter (for checkpoints).
+
+        Only counters are captured: gauges and histograms describe the
+        live process, but counters carry campaign-cumulative totals that
+        must survive a :class:`~repro.resilience.ResilientTrainer`
+        restart without appearing to move backwards.
+        """
+        return [
+            {"name": name, "labels": {k: v for k, v in labels},
+             "value": m.value, "created": m.created}
+            for (name, labels), m in self._sorted_items()
+            if isinstance(m, Counter)
+        ]
+
+    def restore_counters(self, state: List[dict]) -> None:
+        """Merge a :meth:`counters_state` snapshot back in, monotonically.
+
+        OpenMetrics counter-restart semantics: the restored value is
+        ``max(live, saved)`` so a series never decreases across a resume,
+        and the reset epoch becomes ``saved.created + 1`` so scrapers (and
+        tests) can tell a restart happened even when the value is equal.
+        """
+        for entry in state:
+            c = self.counter(entry["name"], **(entry.get("labels") or {}))
+            c.value = max(c.value, float(entry["value"]))
+            c.created = max(c.created, int(entry.get("created", 0)) + 1)
 
     def render(self, title: str = "Metrics") -> str:
         from repro.utils.tables import format_table

@@ -14,10 +14,16 @@ Two render paths cover the two places metrics live:
 
 Both emit deterministic output: families sorted by name, labels sorted by
 key, fixed float formatting, a single ``# EOF`` terminator.
+Counters additionally emit a ``_created`` sample carrying the counter's
+reset epoch (0 at birth, bumped on every checkpoint restore) — the
+OpenMetrics mechanism that lets scrapers tell a counter restart from a
+missed increment across :class:`~repro.resilience.ResilientTrainer`
+resumes.
+
 :func:`validate_openmetrics` checks the grammar rules the exporters
-promise (TYPE before samples, counter ``_total`` suffix, cumulative
-buckets with ``+Inf == _count``, EOF) and is run in tests and the CI dash
-smoke job.
+promise (TYPE before samples, counter ``_total``/``_created`` suffixes,
+cumulative buckets with ``+Inf == _count``, EOF) and is run in tests and
+the CI dash smoke job.
 """
 
 from __future__ import annotations
@@ -159,6 +165,9 @@ def render_registry(registry, prefix: str = "repro") -> str:
                 metric_name(name, prefix), _Family(metric_name(name, prefix), "counter")
             )
             fam.lines.append(f"{fam.name}_total{_labelstr(labels)} {_fmt(m.value)}")
+            fam.lines.append(
+                f"{fam.name}_created{_labelstr(labels)} {_fmt(m.created)}"
+            )
         else:
             fam = families.setdefault(
                 metric_name(name, prefix), _Family(metric_name(name, prefix), "gauge")
@@ -188,6 +197,10 @@ def render_export(entries: List[dict], prefix: str = "repro",
         elif kind == "counter":
             fam = families.setdefault(name, _Family(name, "counter"))
             fam.lines.append(f"{name}_total{_labelstr(labels)} {_fmt(entry['value'])}")
+            if "created" in entry:
+                fam.lines.append(
+                    f"{name}_created{_labelstr(labels)} {_fmt(entry['created'])}"
+                )
         else:
             fam = families.setdefault(name, _Family(name, "gauge"))
             fam.lines.append(f"{name}{_labelstr(labels)} {_fmt(entry['value'])}")
@@ -206,7 +219,7 @@ def write_openmetrics(text: str, path: str) -> str:
 # ----------------------------------------------------------------------
 # grammar validation
 # ----------------------------------------------------------------------
-_SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+_SUFFIXES = ("_total", "_created", "_bucket", "_sum", "_count")
 
 
 def _family_of(sample_name: str, families: Dict[str, str]) -> Optional[str]:
@@ -275,9 +288,10 @@ def validate_openmetrics(text: str) -> List[str]:
             problems.append(f"line {lineno}: bad sample value {m.group('value')!r}")
             continue
         if type_ == "counter":
-            if not sample_name.endswith("_total"):
+            if not sample_name.endswith(("_total", "_created")):
                 problems.append(
-                    f"line {lineno}: counter sample {sample_name!r} must end in _total"
+                    f"line {lineno}: counter sample {sample_name!r} must end in "
+                    "_total or _created"
                 )
             if value < 0:
                 problems.append(f"line {lineno}: negative counter value")

@@ -292,7 +292,8 @@ def apply_training_state(trainer, state: TrainingState) -> None:
     Parameters are re-scattered into the model, optimizer moments and the
     (t, lr) hyper-state reload, and the trainer's step counter, last finite
     loss, AMP loss scale, data-iterator cursor and RNG state all rewind to
-    the values captured at save time.
+    the values captured at save time.  Metric counters merge monotonically
+    (never rewind) with their reset epoch bumped.
     """
     assign_parameters(trainer.model, state.params)
     ts = state.trainer_state
@@ -311,3 +312,8 @@ def apply_training_state(trainer, state: TrainingState) -> None:
     rng = getattr(trainer, "rng", None)
     if rng is not None and "rng" in ts:
         rng.bit_generator.state = ts["rng"]
+    metrics = getattr(trainer, "metrics", None)
+    if metrics is not None and ts.get("metrics"):
+        # monotone max-merge + reset-epoch bump (OpenMetrics restart
+        # semantics): counters never move backwards across a resume
+        metrics.restore_counters(ts["metrics"])

@@ -276,6 +276,10 @@ class Trainer:
             state["data"] = self.batches.state()
         if self.rng is not None:
             state["rng"] = self.rng.bit_generator.state
+        # counters only: campaign-cumulative totals must survive a resume
+        # with OpenMetrics restart semantics (monotone value, bumped
+        # ``_created`` epoch); gauges/histograms describe the live process
+        state["metrics"] = self.metrics.counters_state()
         return state
 
     def save(self, path) -> str:

@@ -326,7 +326,7 @@ class TestClaims:
         from repro.obs.claims import scorecard
 
         card = scorecard([])
-        assert card["num_no_evidence"] == len(card["claims"]) == 7
+        assert card["num_no_evidence"] == len(card["claims"]) == 9
         assert card["num_fail"] == 0 and card["ok"]
 
     def test_all_claims_pass_on_collected_evidence(self, evidence_ledger):
@@ -334,7 +334,7 @@ class TestClaims:
 
         card = scorecard(evidence_ledger.read())
         assert card["ok"] and card["num_fail"] == 0
-        assert card["num_pass"] == 7
+        assert card["num_pass"] == 9
         by = {c["claim"]: c for c in card["claims"]}
         for c in by.values():
             lo, hi = c["band"]
@@ -346,6 +346,8 @@ class TestClaims:
         assert by["isoefficiency"]["measured"] > 1.0
         assert by["speedup-training"]["measured"] == pytest.approx(1.35, abs=0.15)
         assert by["speedup-inference"]["measured"] == pytest.approx(1.60, abs=0.15)
+        assert by["strong-scaling"]["measured"] > 1.0
+        assert by["arrangement"]["measured"] > 1.0
         assert "scorecard" in render(card).lower()
 
     def test_ensure_claim_records_is_idempotent(self, evidence_ledger):
