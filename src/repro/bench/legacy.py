@@ -173,7 +173,7 @@ def pre_optimization():
     for mod, name, impl in _MODULE_PATCHES:
         setattr(mod, name, impl)
     try:
-        with _summa.optimizations(plan_cache=False, pool=False):
+        with _summa.optimizations(plan_cache=False, pool=False, batched=False):
             yield
     finally:
         for name, impl in saved_cls.items():

@@ -11,6 +11,7 @@ the same stem against the pre-optimization hot path
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -223,4 +224,79 @@ def optimus_stem_ab_bench() -> dict:
         "wall_time": on,
         "pre_optimization_wall": off,
         "speedup": off / on if on else float("inf"),
+    }
+
+
+@bench("macro/summa_batched_ab", repeats=2, gate=False)
+def summa_batched_ab_bench() -> dict:
+    """Same-run A/B: batched-mesh engine vs per-rank SUMMA at q=8.
+
+    Each arm resolves the ``REPRO_SUMMA_*`` flags from the environment
+    *inside the arm* (:func:`repro.core.summa.resolve_env_flags` — per-arm
+    resolution, not the import-time snapshot) after flipping
+    ``REPRO_SUMMA_BATCHED``, and reports the flag set it actually ran with.
+    The two arms must agree bit-exactly on numerics and on every per-rank
+    counter and memory peak; any diff raises, failing the suite — this is
+    the CI equivalence smoke.  Not regression-gated: the per-rank arm's
+    workload is gated by ``micro/summa_*``; the payload is ``speedup``.
+    """
+    from repro.mesh.partition import assemble_blocked_2d
+
+    q, n, iters = 8, 256, 10
+    fields = (
+        "clock", "flops", "flops_gemm", "bytes_comm", "weighted_comm_volume",
+        "compute_time", "comm_time", "num_collectives",
+    )
+
+    def arm(flag: str):
+        os.environ["REPRO_SUMMA_BATCHED"] = flag
+        flags = summa.resolve_env_flags()
+        sim, mesh, a, b = _summa_setup(q=q, n=n)
+        kernels = (summa.summa_ab, summa.summa_abt, summa.summa_atb)
+        for k in kernels:
+            k(mesh, a, b)  # warm plans + pool
+        outs = []
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            outs = [k(mesh, a, b) for k in kernels]
+        wall = time.perf_counter() - t0
+        digest = [assemble_blocked_2d(o) for o in outs]
+        state = {
+            r: tuple(getattr(sim.device(r), f) for f in fields)
+            for r in mesh.ranks
+        }
+        peaks = {
+            r: (sim.device(r).memory.current, sim.device(r).memory.peak)
+            for r in mesh.ranks
+        }
+        return flags, wall, digest, state, peaks
+
+    saved_env = os.environ.get("REPRO_SUMMA_BATCHED")
+    saved_flags = summa.effective_flags()
+    try:
+        off_flags, off_wall, off_digest, off_state, off_peaks = arm("0")
+        on_flags, on_wall, on_digest, on_state, on_peaks = arm("1")
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_SUMMA_BATCHED", None)
+        else:
+            os.environ["REPRO_SUMMA_BATCHED"] = saved_env
+        summa.configure(**saved_flags)
+    if off_flags["batched"] or not on_flags["batched"]:
+        raise AssertionError(
+            f"per-arm flag resolution failed: off={off_flags} on={on_flags}"
+        )
+    if not all(np.array_equal(x, y) for x, y in zip(off_digest, on_digest)):
+        raise AssertionError("batched arm numerics diverge from per-rank arm")
+    if off_state != on_state or off_peaks != on_peaks:
+        raise AssertionError("batched arm accounting diverges from per-rank arm")
+    return {
+        "wall_time": on_wall,
+        "per_rank_wall": off_wall,
+        "speedup": off_wall / on_wall if on_wall else float("inf"),
+        "flags_batched_arm": on_flags,
+        "flags_per_rank_arm": off_flags,
+        "equivalent": True,
+        "q": q,
+        "n": n,
     }

@@ -320,6 +320,10 @@ def main(argv=None) -> int:
         "--no-contracts", action="store_true",
         help="skip collective contract checking",
     )
+    chk.add_argument(
+        "--no-batched", action="store_true",
+        help="skip the batched-mesh vs per-rank bit-exactness arm",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "critpath":
@@ -380,6 +384,7 @@ def main(argv=None) -> int:
             trials=args.trials,
             strict=not args.no_strict,
             contracts=not args.no_contracts,
+            batched=not args.no_batched,
         )
     if args.command == "profile":
         from repro.obs.profile import main as profile_main

@@ -87,7 +87,7 @@ def git_revision(cwd: Optional[str] = None) -> str:
 def _scheme_of(model) -> Optional[str]:
     """Best-effort scheme tag from a model object's class name."""
     name = type(model).__name__.lower()
-    for scheme in ("optimus", "megatron", "hybrid"):
+    for scheme in ("optimus", "megatron", "hybrid", "pipeline"):
         if scheme in name:
             return scheme
     if "serial" in name or "reference" in name:

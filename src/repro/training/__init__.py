@@ -20,10 +20,13 @@ from repro.training.optim import (
 )
 from repro.training.schedule import constant_lr, warmup_cosine
 from repro.training.trainer import (
+    PipelineModelAdapter,
+    PipelineOptimizerAdapter,
     SerialModelAdapter,
     SerialOptimizerAdapter,
     Trainer,
     TrainingDivergedError,
+    make_pipeline_trainer,
     make_serial_trainer,
 )
 
@@ -49,5 +52,8 @@ __all__ = [
     "TrainingDivergedError",
     "SerialModelAdapter",
     "SerialOptimizerAdapter",
+    "PipelineModelAdapter",
+    "PipelineOptimizerAdapter",
     "make_serial_trainer",
+    "make_pipeline_trainer",
 ]

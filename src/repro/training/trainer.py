@@ -121,8 +121,15 @@ class Trainer:
         self.rng = rng
         #: optional :class:`~repro.obs.ledger.RunLedger`; when set,
         #: :meth:`train_steps` appends one ``train`` record per call.
-        #: Building a record only reads counters, so losses and simulated
-        #: clocks are bit-identical with the ledger on or off.
+        #: ``None`` falls back to ``RunLedger.from_env()`` so every scheme —
+        #: including pipeline runs — honors ``REPRO_LEDGER`` without its
+        #: entry point having to plumb a ledger argument.  Building a record
+        #: only reads counters, so losses and simulated clocks are
+        #: bit-identical with the ledger on or off.
+        if ledger is None:
+            from repro.obs.ledger import RunLedger
+
+            ledger = RunLedger.from_env()
         self.ledger = ledger
         self.run_label = run_label
         self.seed = seed
@@ -228,16 +235,22 @@ class Trainer:
 
         scheme = _scheme_of(self.model)
         cfg = getattr(self.model, "cfg", None)
-        extra = json_safe(
-            {
-                "steps": self.step,
-                "final_loss": self.log.losses[-1] if self.log.losses else None,
-                "losses": list(self.log.losses),
-                "step_times": list(self.log.step_times),
-                "comm_fractions": list(self.log.comm_fractions),
-                "label": self.run_label,
+        doc = {
+            "steps": self.step,
+            "final_loss": self.log.losses[-1] if self.log.losses else None,
+            "losses": list(self.log.losses),
+            "step_times": list(self.log.step_times),
+            "comm_fractions": list(self.log.comm_fractions),
+            "label": self.run_label,
+        }
+        pipe = getattr(self.model, "pipe", None)
+        if pipe is not None and hasattr(pipe, "schedule_name"):
+            doc["pipeline"] = {
+                "schedule": pipe.schedule_name,
+                "num_stages": pipe.S,
+                "num_micro_batches": pipe.m,
             }
-        )
+        extra = json_safe(doc)
         if self.sim is None:
             return RunRecord(
                 kind=kind,
@@ -382,3 +395,110 @@ def make_serial_trainer(cfg, batches, optimizer=None, params=None, seed=1, **kw)
     if optimizer is None:
         optimizer = SerialAdam(params, lr=1e-2)
     return Trainer(model, SerialOptimizerAdapter(optimizer, model), batches, **kw)
+
+
+# ----------------------------------------------------------------------
+# pipeline adapters
+# ----------------------------------------------------------------------
+class PipelineModelAdapter:
+    """Give :class:`~repro.pipeline.engine.PipelineModel` the ``forward()``
+    / ``backward()`` surface the trainer expects.
+
+    The pipeline engine runs forward *and* backward in one fused
+    ``forward_backward`` call (the schedule interleaves them), so
+    ``forward`` runs the whole iteration and ``backward`` is a no-op —
+    gradients are already accumulated in ``pipe.grads`` under the global
+    parameter names when it is called."""
+
+    def __init__(self, pipe):
+        self.pipe = pipe
+        self.cfg = pipe.cfg
+        self.sim = pipe.sim
+        self.params = pipe.params
+
+    def forward(self, ids, labels) -> float:
+        return self.pipe.forward_backward(ids, labels)
+
+    def backward(self) -> None:
+        pass
+
+
+class PipelineOptimizerAdapter:
+    """Bridge a serial optimizer (explicit grads dict) to the trainer's
+    ``zero_grad()`` / ``step()`` protocol, sourcing gradients from the
+    pipeline engine's mean-loss-scaled accumulator."""
+
+    params = ()  # no DistParams: grad clipping is a no-op on this path
+
+    def __init__(self, opt, pipe):
+        self.opt = opt
+        self.pipe = pipe
+
+    @property
+    def lr(self) -> float:
+        return self.opt.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.opt.lr = value
+
+    def zero_grad(self) -> None:
+        self.pipe.zero_grads()
+
+    def step(self) -> None:
+        if self.pipe.grads:
+            self.opt.step(self.pipe.scaled_grads())
+
+    def state_dict(self) -> dict:
+        return self.opt.state_dict()
+
+    def load_state_dict(self, d: dict) -> None:
+        self.opt.load_state_dict(d)
+
+    def state_slots(self):
+        return self.opt.state_slots()
+
+    def load_state_slots(self, slots) -> None:
+        self.opt.load_state_slots(slots)
+
+
+def make_pipeline_trainer(
+    cfg,
+    batches,
+    optimizer=None,
+    params=None,
+    seed=1,
+    schedule: str = "1f1b",
+    num_micro_batches: int = 4,
+    num_stages: int = 2,
+    sim=None,
+    **kw,
+):
+    """A :class:`Trainer` over the GPipe/1F1B pipeline engine.
+
+    Builds a flat ``num_stages``-rank simulator (unless one is supplied),
+    wires both pipeline adapters, and — like every trainer — appends a
+    ``train`` ledger record per :meth:`Trainer.train_steps` call whenever a
+    ledger is passed or ``REPRO_LEDGER`` is set."""
+    from repro.nn import init_transformer_params
+    from repro.pipeline import PipelineModel
+    from repro.runtime import Simulator
+    from repro.training.optim import SerialAdam
+
+    if params is None:
+        params = init_transformer_params(cfg, seed=seed)
+    if sim is None:
+        sim = Simulator.for_flat(num_stages)
+    pipe = PipelineModel(
+        sim,
+        cfg,
+        params,
+        num_micro_batches=num_micro_batches,
+        schedule=schedule,
+        num_stages=num_stages,
+    )
+    model = PipelineModelAdapter(pipe)
+    if optimizer is None:
+        optimizer = SerialAdam(params, lr=1e-2)
+    kw.setdefault("seed", seed)
+    return Trainer(model, PipelineOptimizerAdapter(optimizer, pipe), batches, **kw)

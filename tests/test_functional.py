@@ -1,7 +1,7 @@
 """Functional ops: forward values and analytic gradients vs finite diffs."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.backend.shape_array import ShapeArray
@@ -157,6 +157,11 @@ def test_layernorm_scale_invariance_property(h, seed):
     """LN(a·x) == LN(x) for any positive scale a (with eps → 0)."""
     rng = np.random.default_rng(seed)
     x = rng.normal(size=(3, h)) + rng.normal(size=(3, 1))
+    # scale invariance only holds while eps stays negligible against the
+    # row variance; a near-degenerate row (all entries almost equal) makes
+    # eps/ (a²·var) visible at 1e-5 rtol, which is not what this property
+    # is about (found by hypothesis at h=2, seed=92)
+    assume(x.var(axis=-1).min() > 1e-3)
     g, b = np.ones(h), np.zeros(h)
     out1, _, _ = F.layernorm_fwd(x, g, b, eps=1e-12)
     out2, _, _ = F.layernorm_fwd(x * 7.5, g, b, eps=1e-12)

@@ -210,6 +210,82 @@ class TestZeroDrift:
 
 
 # ----------------------------------------------------------------------
+# pipeline runs write ledger records like every other scheme
+# ----------------------------------------------------------------------
+def _pipeline_trainer(ledger=None, schedule="1f1b"):
+    from repro.training.data import BatchStream
+    from repro.training.trainer import make_pipeline_trainer
+
+    cfg = tiny_config(num_layers=2)
+    return make_pipeline_trainer(
+        cfg,
+        BatchStream.copy_task(cfg, 4, seed=0),
+        schedule=schedule,
+        num_micro_batches=2,
+        num_stages=2,
+        seed=1,
+        ledger=ledger,
+        run_label=f"test-pipeline-{schedule}",
+    )
+
+
+class TestPipelineLedger:
+    def test_pipeline_trainer_appends_scheme_tagged_record(self, tmp_path):
+        led = RunLedger(str(tmp_path / "ledger.jsonl"))
+        trainer = _pipeline_trainer(ledger=led)
+        trainer.train_steps(3)
+        (rec,) = led.read()
+        assert rec.kind == "train" and rec.scheme == "pipeline"
+        assert rec.extra["pipeline"] == {
+            "schedule": "1f1b",
+            "num_stages": 2,
+            "num_micro_batches": 2,
+        }
+        assert rec.clock == trainer.sim.elapsed()
+        assert rec.counters["total_bytes_comm"] > 0  # p2p activations charged
+
+    def test_pipeline_records_are_byte_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        lines = []
+        for _ in range(2):
+            trainer = _pipeline_trainer()
+            trainer.train_steps(2)
+            lines.append(trainer.ledger_record().to_line())
+        assert lines[0] == lines[1]
+
+    def test_gpipe_and_1f1b_records_are_distinct(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        recs = {}
+        for schedule in ("gpipe", "1f1b"):
+            trainer = _pipeline_trainer(schedule=schedule)
+            trainer.train_steps(2)
+            recs[schedule] = trainer.ledger_record()
+        assert recs["gpipe"].run_id != recs["1f1b"].run_id
+        # identical numerics: the schedules differ only in ordering/memory
+        assert recs["gpipe"].extra["losses"] == recs["1f1b"].extra["losses"]
+
+    def test_trainer_honors_repro_ledger_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        trainer = _pipeline_trainer()  # no explicit ledger: env wiring
+        trainer.train_steps(2)
+        (rec,) = RunLedger(str(path)).read()
+        assert rec.kind == "train" and rec.scheme == "pipeline"
+        assert rec.extra["pipeline"]["schedule"] == "1f1b"
+
+    def test_zero_drift_with_pipeline_ledger_on(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        off = _pipeline_trainer()
+        log_off = off.train_steps(3)
+        led = RunLedger(str(tmp_path / "ledger.jsonl"))
+        on = _pipeline_trainer(ledger=led)
+        log_on = on.train_steps(3)
+        assert log_on.losses == log_off.losses  # bit-identical, not approx
+        assert on.sim.elapsed() == off.sim.elapsed()
+        assert len(led) == 1
+
+
+# ----------------------------------------------------------------------
 # producers: bench / chaos / experiments
 # ----------------------------------------------------------------------
 class TestProducers:
@@ -368,6 +444,12 @@ class TestDash:
         assert kinds.get("bench", 0) >= 1
         assert kinds.get("chaos", 0) >= 1
         assert kinds.get("experiment", 0) >= 4
+        schedules = {
+            r.extra["pipeline"]["schedule"]
+            for r in evidence_ledger.read()
+            if r.scheme == "pipeline"
+        }
+        assert schedules == {"gpipe", "1f1b"}
 
     def test_dash_main_renders_html_and_openmetrics(self, evidence_ledger, tmp_path):
         from repro.obs.dash import main as dash_main

@@ -152,6 +152,64 @@ class TestCostAccounting:
         assert mesh.sim.device(0).memory.by_tag["buffer:workspace"] > 0
 
 
+class TestHotPathRegressions:
+    """Minimal reproductions of accounting bugs found by the batched-vs-
+    per-rank A/B diff (PR 7 satellite sweep)."""
+
+    def test_q1_reduce_does_not_leak_pool_buffers(self, rng):
+        """q=1: the size-1 reduce is zero-copy, so a pooled partial became
+        the output shard and was never released — every abt/atb call leaked
+        one pool acquisition and pooling was permanently defeated."""
+        from repro.core import summa as summa_mod
+
+        mesh = make_mesh(1)
+        a = _dist(mesh, rng.normal(size=(4, 4)))
+        with summa_mod.optimizations(pool=True):
+            for _ in range(3):
+                summa_abt(mesh, a, a)
+                summa_atb(mesh, a, a)
+        stats = summa_mod._pool_of(mesh.sim).stats()
+        assert stats["live"] == 0, f"pooled buffers leaked into outputs: {stats}"
+
+    def test_plan_cache_keyed_on_per_shard_dtypes(self, rng):
+        """Mixed per-shard dtypes used to collide with the uniform-dtype
+        plan (the key looked only at the first shard), silently reusing its
+        out-dtype and f32-sized scratch/byte charges for f64 blocks."""
+        from repro.core import summa as summa_mod
+        from repro.mesh.dtensor import DTensor
+        from repro.mesh.layouts import BLOCKED_2D
+
+        def run(prime_first):
+            mesh = make_mesh(2)
+            # mixed per-shard dtypes violate the strict layout contract; the
+            # plan cache must still key on them when checking is off
+            mesh.sim.strict_invariants = False
+            a32 = _dist(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+            b32 = _dist(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+            mixed = {
+                r: (s if r == mesh.ranks[0] else s.astype(np.float64))
+                for r, s in a32.shards.items()
+            }
+            amix = DTensor(mesh, BLOCKED_2D, mixed, (8, 8))
+            with summa_mod.optimizations(plan_cache=prime_first):
+                if prime_first:  # prime the cache with the all-f32 plan
+                    summa_ab(mesh, a32, b32)
+                    base = {r: mesh.sim.device(r).bytes_comm for r in mesh.ranks}
+                else:
+                    base = {r: 0.0 for r in mesh.ranks}
+                c = summa_ab(mesh, amix, b32)
+            dtypes = sorted({s.dtype.name for s in c.shards.values()})
+            bytes_comm = {
+                r: mesh.sim.device(r).bytes_comm - base[r] for r in mesh.ranks
+            }
+            return dtypes, bytes_comm
+
+        cached_dtypes, cached_bytes = run(prime_first=True)
+        fresh_dtypes, fresh_bytes = run(prime_first=False)
+        assert cached_dtypes == fresh_dtypes
+        assert cached_bytes == fresh_bytes
+
+
 @given(
     st.integers(1, 3),
     st.integers(1, 3),

@@ -1,0 +1,310 @@
+"""Batched-mesh SUMMA engine (``REPRO_SUMMA_BATCHED``): bit-exactness and
+accounting identity against the per-rank path, fallback rules, and the
+per-arm environment flag resolution used by ``repro bench``."""
+
+import numpy as np
+import pytest
+
+from repro.comm import collectives as coll
+from repro.core import summa
+from repro.core.buffers import BufferManager
+from repro.mesh import assemble_blocked_2d, distribute_blocked_2d
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import BLOCKED_2D
+from tests.conftest import make_mesh
+
+DEV_FIELDS = (
+    "clock", "flops", "flops_gemm", "bytes_comm", "weighted_comm_volume",
+    "compute_time", "comm_time", "num_collectives",
+)
+
+
+def _state(sim):
+    return {
+        r: tuple(getattr(sim.device(r), f) for f in DEV_FIELDS)
+        + (sim.device(r).memory.current, sim.device(r).memory.peak,
+           sim.device(r).memory.num_allocs)
+        for r in sim.ranks
+    }
+
+
+def _run_products(q, batched, traced=True, dtype=np.float32, seed=0):
+    """ab, abt, atb and the fused backward identities on one mesh; returns
+    assembled numerics plus the complete accounting state."""
+    rng = np.random.default_rng(seed)
+    mesh = make_mesh(q)
+    sim = mesh.sim
+    sim.tracer.enabled = traced
+    buffers = BufferManager(sim)
+    M, K, N = 8 * q, 6 * q, 4 * q
+    a = distribute_blocked_2d(mesh, rng.normal(size=(M, K)).astype(dtype))
+    b = distribute_blocked_2d(mesh, rng.normal(size=(K, N)).astype(dtype))
+    bt = distribute_blocked_2d(mesh, rng.normal(size=(N, K)).astype(dtype))
+    at = distribute_blocked_2d(mesh, rng.normal(size=(K, M)).astype(dtype))
+    dc = distribute_blocked_2d(mesh, rng.normal(size=(M, N)).astype(dtype))
+    with summa.optimizations(batched=batched):
+        outs = [
+            summa.summa_ab(mesh, a, b, buffers),
+            summa.summa_abt(mesh, a, bt, buffers),
+            summa.summa_atb(mesh, at, b, buffers),
+            *summa.grads_of_ab(mesh, a, b, dc, buffers),
+            summa.summa_ab(mesh, a, b, buffers),  # cached-plan reuse
+        ]
+    return {
+        "results": [assemble_blocked_2d(x) for x in outs],
+        "state": _state(sim),
+        "events": [repr(e) for e in sim.tracer.events],
+        "spans": [repr(s) for s in sim.tracer.spans],
+    }
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("q", [2, 4, 8])
+    def test_numerics_and_accounting_identical(self, q):
+        base = _run_products(q, batched=False)
+        bat = _run_products(q, batched=True)
+        for i, (x, y) in enumerate(zip(base["results"], bat["results"])):
+            assert np.array_equal(x, y), f"product {i} not bit-exact at q={q}"
+        assert base["state"] == bat["state"]
+        assert base["events"] == bat["events"]
+        assert base["spans"] == bat["spans"]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_dtypes(self, dtype):
+        base = _run_products(3, batched=False, dtype=dtype)
+        bat = _run_products(3, batched=True, dtype=dtype)
+        for x, y in zip(base["results"], bat["results"]):
+            assert np.array_equal(x, y)
+        assert base["state"] == bat["state"]
+
+    def test_untraced_accounting_identical(self):
+        base = _run_products(2, batched=False, traced=False)
+        bat = _run_products(2, batched=True, traced=False)
+        assert base["state"] == bat["state"]
+        assert bat["events"] == []
+
+    def test_output_shards_are_independent_of_pool(self):
+        """Output shards are views into a fresh backing array, never
+        pool-owned — later acquires must not overwrite live results."""
+        mesh = make_mesh(2)
+        rng = np.random.default_rng(0)
+        a = distribute_blocked_2d(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+        with summa.optimizations(batched=True):
+            c = summa.summa_ab(mesh, a, a)
+            before = assemble_blocked_2d(c).copy()
+            for _ in range(5):  # churn the pool
+                summa.summa_abt(mesh, a, a)
+                summa.summa_atb(mesh, a, a)
+        np.testing.assert_array_equal(assemble_blocked_2d(c), before)
+
+
+class TestFallbacks:
+    def _desc_of(self, mesh, a, b):
+        plan = summa._get_plan(mesh, "ab", a, b, summa._build_ab)
+        return summa._batched_of(plan, mesh, a, b)
+
+    def test_ragged_moe_blocks_fall_back(self):
+        """MoE-style ragged row blocks are ineligible but still correct."""
+        mesh = make_mesh(2)
+        rng = np.random.default_rng(0)
+        rows = [3, 9]
+        shards = {
+            mesh.rank(i, j): rng.standard_normal((rows[i], 6)).astype(np.float32)
+            for i in range(2)
+            for j in range(2)
+        }
+        a = DTensor(mesh, BLOCKED_2D, shards, (12, 12))
+        b = distribute_blocked_2d(
+            mesh, rng.standard_normal((12, 6)).astype(np.float32)
+        )
+        assert self._desc_of(mesh, a, b) is None
+        with summa.optimizations(batched=True):
+            c = summa.summa_ab(mesh, a, b)
+        assert c.shards[mesh.rank(0, 0)].shape[0] == 3
+        assert c.shards[mesh.rank(1, 0)].shape[0] == 9
+
+    def test_mixed_dtype_shards_fall_back(self):
+        mesh = make_mesh(2)
+        # mixed per-shard dtypes violate the strict layout contract, but the
+        # engine must still fall back (not batch) when checking is off
+        mesh.sim.strict_invariants = False
+        rng = np.random.default_rng(0)
+        a = distribute_blocked_2d(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+        mixed = {
+            r: (s if r == mesh.ranks[0] else s.astype(np.float64))
+            for r, s in a.shards.items()
+        }
+        amix = DTensor(mesh, BLOCKED_2D, mixed, (8, 8))
+        assert self._desc_of(mesh, amix, a) is None
+
+    def test_dryrun_falls_back(self):
+        from repro.backend.shape_array import ShapeArray
+
+        mesh = make_mesh(2, backend="dryrun")
+        shards = {r: ShapeArray((4, 4), "float32") for r in mesh.ranks}
+        a = DTensor(mesh, BLOCKED_2D, shards, (8, 8))
+        assert self._desc_of(mesh, a, a) is None
+        with summa.optimizations(batched=True):
+            c = summa.summa_ab(mesh, a, a)
+        assert c.global_shape == (8, 8)
+
+    def test_q1_falls_back(self, rng):
+        mesh = make_mesh(1)
+        a = distribute_blocked_2d(mesh, rng.normal(size=(4, 4)))
+        assert self._desc_of(mesh, a, a) is None
+        with summa.optimizations(batched=True):
+            c = summa.summa_ab(mesh, a, a)
+        np.testing.assert_array_equal(
+            assemble_blocked_2d(c), a.shards[0] @ a.shards[0]
+        )
+
+    def test_patched_collectives_force_per_rank(self, rng, monkeypatch):
+        """Monkey-patched broadcast/reduce (contract checker, legacy bench
+        arm) must observe every per-rank collective call."""
+        mesh = make_mesh(2)
+        a = distribute_blocked_2d(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+        calls = []
+        real = coll.broadcast
+
+        def spy(group, src, root, precost=None):
+            calls.append(root)
+            return real(group, src, root, precost)
+
+        monkeypatch.setattr(coll, "broadcast", spy)
+        assert not summa._batched_ready(mesh.sim)
+        with summa.optimizations(batched=True):
+            summa.summa_ab(mesh, a, a)
+        assert len(calls) == 2 * 2 * 2  # q steps x (A row + B col) x q groups
+
+    def test_contract_checker_forces_per_rank(self, rng):
+        from repro.check.contracts import CollectiveContractChecker
+
+        mesh = make_mesh(2)
+        a = distribute_blocked_2d(mesh, rng.normal(size=(8, 8)).astype(np.float32))
+        checker = CollectiveContractChecker()
+        checker.install()
+        try:
+            assert not summa._batched_ready(mesh.sim)
+            with summa.optimizations(batched=True):
+                c = summa.summa_ab(mesh, a, a)
+        finally:
+            checker.uninstall()
+        assert summa._batched_ready(mesh.sim)
+        ref = assemble_blocked_2d(a) @ assemble_blocked_2d(a)
+        np.testing.assert_allclose(assemble_blocked_2d(c), ref, rtol=1e-5)
+
+    def test_armed_fault_injector_forces_per_rank(self):
+        from repro.resilience import FaultInjector
+        from repro.resilience.faults import FaultSchedule
+
+        mesh = make_mesh(2)
+        inj = FaultInjector(FaultSchedule())
+        inj.install(mesh.sim)
+        try:
+            assert not summa._batched_ready(mesh.sim)
+        finally:
+            inj.uninstall()
+        assert summa._batched_ready(mesh.sim)
+
+
+class TestFlagResolution:
+    def test_flags_from_env_rereads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUMMA_BATCHED", raising=False)
+        assert summa.flags_from_env()["batched"] is False  # opt-in default
+        monkeypatch.setenv("REPRO_SUMMA_BATCHED", "1")
+        assert summa.flags_from_env()["batched"] is True
+        monkeypatch.setenv("REPRO_SUMMA_BATCHED", "0")
+        assert summa.flags_from_env()["batched"] is False
+
+    def test_resolve_env_flags_applies_per_arm(self, monkeypatch):
+        saved = summa.effective_flags()
+        try:
+            monkeypatch.setenv("REPRO_SUMMA_BATCHED", "1")
+            assert summa.resolve_env_flags()["batched"] is True
+            assert summa.effective_flags()["batched"] is True
+            monkeypatch.setenv("REPRO_SUMMA_BATCHED", "0")
+            assert summa.resolve_env_flags()["batched"] is False
+            assert summa.effective_flags()["batched"] is False
+        finally:
+            summa.configure(**saved)
+
+    def test_optimizations_restores_batched(self):
+        before = summa.effective_flags()
+        with summa.optimizations(batched=True):
+            assert summa.effective_flags()["batched"] is True
+        assert summa.effective_flags() == before
+
+    def test_legacy_arm_disables_batched(self):
+        from repro.bench.legacy import pre_optimization
+
+        with summa.optimizations(batched=True):
+            with pre_optimization():
+                assert summa.effective_flags()["batched"] is False
+            assert summa.effective_flags()["batched"] is True
+
+
+class TestFuzzBatchedArm:
+    def test_run_trial_includes_batched_arm(self):
+        from repro.check.fuzz import TrialSpec, run_trial
+
+        spec = TrialSpec(
+            q=2, p=2, batch=2, seq=4, heads=2, head_dim=2, layers=1,
+            vocab=16, dtype="float64", optimizer="sgd", lr=0.05,
+            momentum=0.0, weight_decay=0.0, param_seed=7, data_seed=11,
+        )
+        result = run_trial(spec, strict=True, contracts=True, batched=True)
+        assert result.passed, result.failures
+
+    def test_batched_arm_catches_numeric_divergence(self, monkeypatch):
+        """A deliberately-broken batched stage must fail the trial."""
+        from repro.backend import ops as _ops
+        from repro.check.fuzz import TrialSpec, run_trial
+
+        real = _ops.batched_outer_matmul
+
+        def broken(astk, bstk, out):
+            real(astk, bstk, out)
+            out += 1e-3
+            return out
+
+        monkeypatch.setattr(_ops, "batched_outer_matmul", broken)
+        spec = TrialSpec(
+            q=2, p=2, batch=2, seq=4, heads=2, head_dim=2, layers=1,
+            vocab=16, dtype="float64", optimizer="sgd", lr=0.05,
+            momentum=0.0, weight_decay=0.0, param_seed=7, data_seed=11,
+        )
+        result = run_trial(spec, strict=False, contracts=False, batched=True)
+        assert not result.passed
+        assert any("batched" in f for f in result.failures)
+
+
+class TestHybridEquivalence:
+    def test_data_parallel_hybrid_bit_exact(self, cfg, params, rng):
+        """2 replicas x 2x2 meshes: batched engine matches per-rank on the
+        full hybrid forward/backward, numerics and accounting."""
+        from repro.hardware.specs import frontera_rtx
+        from repro.hybrid import DataParallel
+        from repro.mesh.partition import assemble_any
+        from repro.runtime import Simulator
+
+        b = 8  # per-replica batch 4, divisible by q=2
+        ids = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+        labels = rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_len))
+
+        def run(batched):
+            sim = Simulator(frontera_rtx(2), num_ranks=8)
+            dp = DataParallel(sim, cfg, params, num_replicas=2, q=2)
+            with summa.optimizations(batched=batched):
+                loss = dp.forward_backward(ids, labels)
+            grads = {
+                p.name: np.asarray(assemble_any(p.grad))
+                for p in dp.replicas[0].parameters()
+            }
+            return loss, grads, _state(sim)
+
+        loss0, grads0, state0 = run(False)
+        loss1, grads1, state1 = run(True)
+        assert loss0 == loss1
+        for name in grads0:
+            assert np.array_equal(grads0[name], grads1[name]), name
+        assert state0 == state1
