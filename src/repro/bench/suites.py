@@ -283,9 +283,7 @@ def summa_batched_ab_bench() -> dict:
             os.environ["REPRO_SUMMA_BATCHED"] = saved_env
         summa.configure(**saved_flags)
     if off_flags["batched"] or not on_flags["batched"]:
-        raise AssertionError(
-            f"per-arm flag resolution failed: off={off_flags} on={on_flags}"
-        )
+        raise AssertionError(f"per-arm flag resolution failed: off={off_flags} on={on_flags}")
     if not all(np.array_equal(x, y) for x, y in zip(off_digest, on_digest)):
         raise AssertionError("batched arm numerics diverge from per-rank arm")
     if off_state != on_state or off_peaks != on_peaks:
@@ -299,4 +297,54 @@ def summa_batched_ab_bench() -> dict:
         "equivalent": True,
         "q": q,
         "n": n,
+    }
+
+
+@bench("macro/serving_decode_ab", repeats=2, gate=False)
+def serving_decode_ab_bench() -> dict:
+    """Same-run A/B: the serving decode loop under the batched-mesh engine
+    vs per-rank SUMMA.
+
+    The decode forward rides the training linears, so the batched engine's
+    bit-exactness guarantee must extend to serving: both arms' full
+    ``repro-serve-v1`` documents (latencies, goodput, phase attribution,
+    token checksums) must be byte-identical, modulo the flag snapshot.
+    Any diff raises, failing the suite.  Not regression-gated; the payload
+    is the host wall-clock ``speedup`` of the batched arm.
+    """
+    from repro.obs.ledger import canonical_json
+    from repro.serving.report import run_serve
+
+    def arm(flag: str):
+        os.environ["REPRO_SUMMA_BATCHED"] = flag
+        flags = summa.resolve_env_flags()
+        t0 = time.perf_counter()
+        report = run_serve(0, quick=True)
+        wall = time.perf_counter() - t0
+        report.pop("summa_flags")
+        return flags, wall, canonical_json(report)
+
+    saved_env = os.environ.get("REPRO_SUMMA_BATCHED")
+    saved_flags = summa.effective_flags()
+    try:
+        arm("0")  # warm imports/caches off the clock
+        off_flags, off_wall, off_doc = arm("0")
+        on_flags, on_wall, on_doc = arm("1")
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_SUMMA_BATCHED", None)
+        else:
+            os.environ["REPRO_SUMMA_BATCHED"] = saved_env
+        summa.configure(**saved_flags)
+    if off_flags["batched"] or not on_flags["batched"]:
+        raise AssertionError(f"per-arm flag resolution failed: off={off_flags} on={on_flags}")
+    if off_doc != on_doc:
+        raise AssertionError("batched-mesh serving report diverges from per-rank arm")
+    return {
+        "wall_time": on_wall,
+        "per_rank_wall": off_wall,
+        "speedup": off_wall / on_wall if on_wall else float("inf"),
+        "flags_batched_arm": on_flags,
+        "flags_per_rank_arm": off_flags,
+        "equivalent": True,
     }

@@ -305,6 +305,71 @@ def main(argv=None) -> int:
         help="render only what the ledger already holds (no new runs)",
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve seeded synthetic traffic through the Optimus/Megatron "
+        "decode engines (continuous batching, sharded KV-cache) and emit a "
+        "byte-deterministic repro-serve-v1 report",
+    )
+    srv.add_argument("--seed", type=int, default=0, help="traffic seed")
+    srv.add_argument(
+        "--quick", action="store_true",
+        help="short poisson-only run (CI smoke job)",
+    )
+    srv.add_argument(
+        "--scheme", action="append", default=None,
+        choices=("optimus", "megatron"),
+        help="restrict to a scheme (repeatable; default: both)",
+    )
+    srv.add_argument(
+        "--arrival", action="append", default=None,
+        choices=("poisson", "bursty"),
+        help="restrict to an arrival profile (repeatable; default: both)",
+    )
+    srv.add_argument("--requests", type=int, default=None, help="request count")
+    srv.add_argument(
+        "--rate", type=float, default=None, help="mean offered load (requests/s)"
+    )
+    srv.add_argument("--q", type=int, default=None, help="mesh side (devices = q²)")
+    srv.add_argument(
+        "--slots", type=int, default=None, help="concurrent sequence slots"
+    )
+    srv.add_argument(
+        "--block-size", type=int, default=None, help="KV-cache block size (tokens)"
+    )
+    srv.add_argument(
+        "--blocks", type=int, default=None,
+        help="KV blocks per optimus row-group (megatron gets q× for equal "
+        "per-device bytes)",
+    )
+    srv.add_argument(
+        "--slo-ttft", type=float, default=None,
+        help="SLO: time-to-first-token bound (simulated seconds)",
+    )
+    srv.add_argument(
+        "--slo-tpot", type=float, default=None,
+        help="SLO: time-per-output-token bound (simulated seconds)",
+    )
+    srv.add_argument(
+        "--out", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    srv.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append per-arm 'serve' records to this run-ledger file/dir",
+    )
+    srv.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="SLO regression gate: exit 1 if p99 latency or goodput regresses",
+    )
+    srv.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative SLO regression threshold (default 0.20)",
+    )
+    srv.add_argument(
+        "--ab", action="store_true",
+        help="run batched-mesh vs per-rank arms and demand byte equality",
+    )
+
     chk = sub.add_parser(
         "check",
         help="fuzzed Optimus/Megatron/serial equivalence under contract "
@@ -376,6 +441,10 @@ def main(argv=None) -> int:
             baseline=args.baseline,
             no_collect=args.no_collect,
         )
+    if args.command == "serve":
+        from repro.serving.report import cmd_serve
+
+        return cmd_serve(args)
     if args.command == "check":
         from repro.check.fuzz import main as check_main
 

@@ -108,6 +108,13 @@ def _collect_pipeline(ledger: RunLedger, printer) -> None:
         trainer.train_steps(3)
 
 
+def _collect_serve(ledger: RunLedger, printer) -> None:
+    from repro.serving.report import run_serve
+
+    printer("collecting evidence: quick serving run (optimus + megatron)")
+    run_serve(0, quick=True, ledger=ledger)
+
+
 def collect(ledger: RunLedger, printer=print) -> None:
     """Fill evidence gaps so the dashboard has every section populated."""
     from repro.obs.claims import ensure_claim_records
@@ -124,6 +131,8 @@ def collect(ledger: RunLedger, printer=print) -> None:
         _collect_bench(ledger, printer)
     if not kinds.get("chaos"):
         _collect_chaos(ledger, printer)
+    if not kinds.get("serve"):
+        _collect_serve(ledger, printer)
     ensure_claim_records(ledger, printer=printer)
 
 
@@ -208,6 +217,34 @@ def attribution_rows(records: Sequence[RunRecord]) -> List[dict]:
             "conservation_ok": bool(a.get("conservation_ok")),
             "top_key": top.get("key", "—"),
             "top_ratio": top.get("ratio"),
+        })
+    return rows
+
+
+def serving_rows(records: Sequence[RunRecord]) -> List[dict]:
+    """Newest serve record per (scheme, arrival) arm, in label order."""
+    newest: dict = {}
+    for r in records:
+        if r.kind != "serve":
+            continue
+        e = r.extra or {}
+        newest[(r.scheme or "?", e.get("arrival") or "?")] = r
+    rows = []
+    for (scheme, arrival), r in sorted(newest.items()):
+        e = r.extra or {}
+        rows.append({
+            "record": _record_label(r),
+            "run_id": r.run_id,
+            "scheme": scheme,
+            "arrival": arrival,
+            "ranks": (r.mesh or {}).get("ranks"),
+            "requests": e.get("num_requests"),
+            "rate_rps": e.get("rate_rps"),
+            "generated_tokens": e.get("generated_tokens"),
+            "goodput": e.get("goodput_tokens_per_s"),
+            "slo_attainment": e.get("slo_attainment"),
+            "p99_e2e_s": e.get("p99_e2e_s"),
+            "clock": r.clock,
         })
     return rows
 
@@ -473,6 +510,52 @@ def _trends_section(series: dict, sparks: dict) -> str:
     )
 
 
+def _serving_section(rows: List[dict]) -> str:
+    if not rows:
+        body = ("<p class='muted'>no serve records yet (run "
+                "<code>repro serve --quick --ledger …</code> to play a seeded "
+                "traffic trace through the decode engines)</p>")
+        return f"<section><h2>Serving</h2>{body}</section>"
+
+    def num(v, spec=".4g"):
+        return "—" if v is None else format(v, spec)
+
+    trs = []
+    for row in rows:
+        p99 = row["p99_e2e_s"]
+        trs.append(
+            f"<tr><td>{html.escape(row['scheme'])}</td>"
+            f"<td>{html.escape(row['arrival'])}</td>"
+            f"<td>{row['ranks'] if row['ranks'] is not None else '—'}</td>"
+            f"<td>{num(row['requests'], 'd') if row['requests'] is not None else '—'}</td>"
+            f"<td>{num(row['rate_rps'], '.0f')}</td>"
+            f"<td>{'—' if p99 is None else f'{p99 * 1e3:.3f} ms'}</td>"
+            f"<td>{num(row['goodput'], '.1f')}</td>"
+            f"<td>{num(row['slo_attainment'], '.2f')}</td>"
+            f"<td><code>{row['run_id']}</code></td></tr>"
+        )
+    chart = _bar_chart(
+        [
+            (f"{row['scheme']}/{row['arrival']}", float(row["goodput"]))
+            for row in rows
+            if row["goodput"]
+        ],
+        fmt=lambda v: f"{v:.0f} tok/s",
+    )
+    return (
+        "<section><h2>Serving</h2>"
+        "<p class='muted'>continuous-batching decode over the 2-D and 1-D "
+        "stacks (<code>repro serve</code>): SLO-gated goodput per "
+        "scheme × arrival profile, newest record per arm</p>"
+        "<table><tr><th>scheme</th><th>arrival</th><th>ranks</th>"
+        "<th>requests</th><th>rate (req/s)</th><th>p99 e2e</th>"
+        "<th>goodput (tok/s)</th><th>SLO attainment</th><th>run_id</th></tr>"
+        + "".join(trs) + "</table>"
+        "<h3 class='muted'>Goodput (SLO-compliant tokens per simulated second)</h3>"
+        + chart + "</section>"
+    )
+
+
 def _regressions_section(rows: List[dict]) -> str:
     if not rows:
         body = ("<p class='muted'>no baseline comparison in the newest bench "
@@ -537,6 +620,7 @@ def render_html(records: Sequence[RunRecord], card: dict,
         f"git <code>{html.escape(git_revision())}</code></p>"
         + _claims_section(card)
         + _attribution_section(attribution_rows(records))
+        + _serving_section(serving_rows(records))
         + _trends_section(trend_series(records), sparkline_series(records))
         + _regressions_section(regressions)
         + _runs_section(records)

@@ -40,7 +40,7 @@ LEDGER_SCHEMA = "repro-ledger-v1"
 DEFAULT_LEDGER_DIR = os.path.join("benchmarks", "ledger")
 DEFAULT_LEDGER_FILE = "ledger.jsonl"
 
-RUN_KINDS = ("train", "bench", "chaos", "experiment")
+RUN_KINDS = ("train", "bench", "chaos", "experiment", "serve")
 
 
 def canonical_json(doc) -> str:
@@ -85,7 +85,12 @@ def git_revision(cwd: Optional[str] = None) -> str:
 
 
 def _scheme_of(model) -> Optional[str]:
-    """Best-effort scheme tag from a model object's class name."""
+    """Best-effort scheme tag: an explicit ``scheme`` attribute wins, else
+    the class name is matched (serving engines wrap a model of the *other*
+    naming convention, which is what the attribute escape hatch is for)."""
+    scheme = getattr(model, "scheme", None)
+    if isinstance(scheme, str) and scheme:
+        return scheme
     name = type(model).__name__.lower()
     for scheme in ("optimus", "megatron", "hybrid", "pipeline"):
         if scheme in name:
@@ -289,7 +294,7 @@ def _compact_key(record: RunRecord) -> tuple:
     """
     fingerprint = (record.config or {}).get("fingerprint")
     mesh = record.mesh or {}
-    return (
+    key = (
         record.kind,
         record.scheme,
         record.label,
@@ -299,6 +304,17 @@ def _compact_key(record: RunRecord) -> tuple:
         mesh.get("q"),
         mesh.get("arrangement"),
     )
+    if record.kind == "serve":
+        # serve runs of the same config/revision legitimately differ by
+        # traffic: keep the newest per (seed, traffic shape), not one overall
+        extra = record.extra or {}
+        key += (
+            record.seed,
+            extra.get("arrival"),
+            extra.get("num_requests"),
+            extra.get("traffic_seed"),
+        )
+    return key
 
 
 def compact(ledger, out: Optional[str] = None) -> dict:

@@ -51,6 +51,22 @@ def attention_bwd(q, k, v, probs, d_out):
     return d_q, d_k, d_v
 
 
+def decode_attention_fwd(q_vec, k_cache, v_cache):
+    """Single-token attention over a KV cache (the serving decode step).
+
+    ``q_vec`` is the new token's query ``[n, d]``; ``k_cache``/``v_cache``
+    hold the ``ℓ`` cached positions as ``[n, ℓ, d]`` (the new token's own
+    K/V already appended, making the step causal by construction — a token
+    only ever sees positions ``≤`` its own).  Returns ``(context [n, d],
+    probs [n, ℓ])``.
+    """
+    d = q_vec.shape[-1]
+    scores = (k_cache @ q_vec[:, :, None])[:, :, 0] * (1.0 / math.sqrt(d))
+    probs = softmax(scores)
+    ctx = (probs[:, None, :] @ v_cache)[:, 0, :]
+    return ctx, probs
+
+
 # ----------------------------------------------------------------------
 # fused (chunked online softmax)
 # ----------------------------------------------------------------------

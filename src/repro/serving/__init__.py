@@ -1,0 +1,45 @@
+"""Inference serving over the 2-D (Optimus) and 1-D (Megatron) stacks.
+
+Continuous batching + block-partitioned sharded KV-cache + seeded
+synthetic traffic, reported as byte-deterministic ``repro-serve-v1`` JSON.
+"""
+
+from repro.serving.engine import (
+    MegatronServingEngine,
+    OptimusServingEngine,
+    ServingEngine,
+    ServingResult,
+    make_engine,
+)
+from repro.serving.kvcache import KV_MEMORY_TAG, KVBlockPool, KVShardGroup, ShardedKVCache
+from repro.serving.report import (
+    REPORT_SCHEMA,
+    compare_reports,
+    percentile,
+    run_ab,
+    run_serve,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler, SlotState
+from repro.serving.traffic import ARRIVAL_PROFILES, Request, TrafficGenerator
+
+__all__ = [
+    "ARRIVAL_PROFILES",
+    "ContinuousBatchingScheduler",
+    "KV_MEMORY_TAG",
+    "KVBlockPool",
+    "KVShardGroup",
+    "MegatronServingEngine",
+    "OptimusServingEngine",
+    "REPORT_SCHEMA",
+    "Request",
+    "ServingEngine",
+    "ServingResult",
+    "ShardedKVCache",
+    "SlotState",
+    "TrafficGenerator",
+    "compare_reports",
+    "make_engine",
+    "percentile",
+    "run_ab",
+    "run_serve",
+]

@@ -1,0 +1,449 @@
+"""Autoregressive serving engines over the 2-D (Optimus) and 1-D (Megatron)
+model stacks.
+
+Both engines run **token-level continuous batching**: every engine step
+advances each active sequence by exactly one token through a batched
+decode-shaped forward (global activation ``[B, h]`` — one row per lane).
+Prompt tokens stream through the same kernel as generated tokens, so
+prefill and decode interleave freely in one batch and admission/eviction
+happen at every step boundary on the simulated clock (Orca-style
+iteration-level scheduling).
+
+Scheme-specific decode forwards reuse the training modules unchanged
+(``Embedding2D``/``Linear2D``/``LayerNorm2D``/``MLP2D`` and their 1-D
+twins) — SUMMA and the Megatron conjugate all-reduces accept any token
+count, so the decode path exercises the exact communication/compute
+accounting of training, including the ``REPRO_SUMMA_BATCHED`` batched-mesh
+engine, which stays bit-exact here (asserted by the serving A/B benchmark).
+Only attention is new: per-lane causal attention over the sharded KV cache
+(:func:`repro.reference.attention.decode_attention_fwd`), fully local per
+rank in both schemes.
+
+Greedy sampling is distributed and *priced*: each rank finds its local
+vocabulary stripe's (max, argmax), the candidates are all-gathered along
+the stripe axis (mesh row for 2-D, the whole group for 1-D), and every
+rank deterministically picks the winner — ties break toward the lowest
+vocabulary index, matching a serial ``argmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.comm import collectives as coll
+from repro.config import ModelConfig
+from repro.core.layers import _ELEMWISE_COST
+from repro.core.model import OptimusModel
+from repro.megatron.model import MegatronModel
+from repro.mesh.dtensor import DTensor
+from repro.mesh.layouts import BLOCKED_2D, SHARDED_1D
+from repro.mesh.mesh import Mesh
+from repro.mesh.partition import distribute_replicated_1d, distribute_row_blocked
+from repro.reference.attention import decode_attention_fwd
+from repro.runtime.simulator import Simulator
+from repro.serving.kvcache import KVShardGroup, ShardedKVCache
+from repro.serving.scheduler import ContinuousBatchingScheduler, SlotState
+from repro.serving.traffic import Request
+
+
+@dataclass(frozen=True)
+class LaneInput:
+    """One active sequence's contribution to a decode step."""
+
+    slot: int
+    token: int
+    pos: int  # KV position this token is written to (== tokens fed so far)
+
+
+@dataclass
+class ServingResult:
+    """Everything :func:`repro.serving.report` needs from one engine run."""
+
+    completed: List[SlotState]
+    steps: int
+    lane_steps: int  # real (non-padding) lane advances
+    padded_lane_steps: int  # padding lanes computed to keep SUMMA shapes
+    prompt_tokens: int
+    generated_tokens: int
+    attribution: Dict[str, float]  # prefill / decode / padding / idle seconds
+    scheduler_stats: dict
+    cache_stats: dict
+    clock: float
+
+
+class ServingEngine:
+    """Shared continuous-batching loop; subclasses provide the forward."""
+
+    scheme = "base"
+
+    def __init__(self, sim: Simulator, cfg: ModelConfig):
+        self.sim = sim
+        self.cfg = cfg
+        self.cache: ShardedKVCache
+        self.scheduler: ContinuousBatchingScheduler
+        self.all_ranks: Sequence[int] = []
+
+    # -- subclass surface ----------------------------------------------
+    def step(self, entries: List[LaneInput]) -> Dict[int, int]:
+        """One batched decode step; returns {slot: sampled token}."""
+        raise NotImplementedError
+
+    def lanes_in_step(self, entries: List[LaneInput]) -> int:
+        """Total lanes computed (including shape padding)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, requests: List[Request]) -> ServingResult:
+        sched = self.scheduler
+        sched.load(requests)
+        attribution = {"prefill": 0.0, "decode": 0.0, "padding": 0.0, "idle": 0.0}
+        steps = lane_steps = padded_lane_steps = 0
+        prompt_tokens = generated_tokens = 0
+
+        while sched.incomplete():
+            now = self.sim.elapsed()
+            sched.admit(now)
+            if not sched.active:
+                # nothing runnable: idle-advance every device to the next
+                # arrival (the simulated cluster sits empty, clock still runs)
+                target = sched.next_arrival()
+                for r in self.all_ranks:
+                    dev = self.sim.device(r)
+                    dev.clock = max(dev.clock, target)
+                attribution["idle"] += max(0.0, target - now)
+                continue
+
+            entries = [
+                LaneInput(slot=slot, token=state.next_input(), pos=state.fed)
+                for slot, state in sorted(sched.active.items())
+            ]
+            prefill_lanes = sum(1 for e in entries if sched.active[e.slot].in_prefill)
+            sampled = self.step(entries)
+            t1 = self.sim.elapsed()
+            dt = t1 - now
+
+            total_lanes = self.lanes_in_step(entries)
+            decode_lanes = len(entries) - prefill_lanes
+            pad_lanes = total_lanes - len(entries)
+            attribution["prefill"] += dt * prefill_lanes / total_lanes
+            attribution["decode"] += dt * decode_lanes / total_lanes
+            attribution["padding"] += dt * pad_lanes / total_lanes
+            steps += 1
+            lane_steps += len(entries)
+            padded_lane_steps += pad_lanes
+
+            for e in entries:
+                state = sched.active[e.slot]
+                self.cache.commit(e.slot)
+                if state.in_prefill:
+                    prompt_tokens += 1
+                state.fed += 1
+                if not state.in_prefill:  # prompt fully consumed: sample counts
+                    state.generated.append(sampled[e.slot])
+                    generated_tokens += 1
+                    if state.first_token_time is None:
+                        state.first_token_time = t1
+                    if state.done:
+                        sched.finish(e.slot, t1)
+
+        return ServingResult(
+            completed=list(sched.completed),
+            steps=steps,
+            lane_steps=lane_steps,
+            padded_lane_steps=padded_lane_steps,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated_tokens,
+            attribution=attribution,
+            scheduler_stats=dict(sched.stats),
+            cache_stats=self.cache.stats(),
+            clock=self.sim.elapsed(),
+        )
+
+    # ------------------------------------------------------------------
+    def _charge_attention(self, dev, n_loc: int, ell: int, d: int, probs) -> None:
+        dev.compute(2.0 * n_loc * ell * d)  # q·Kᵀ
+        dev.compute(2.0 * n_loc * ell * d)  # probs·V
+        dev.compute(_ELEMWISE_COST["softmax"] * probs.size, kind="elementwise")
+
+    @staticmethod
+    def _pick_winner(gathered: np.ndarray, stripes: int) -> np.ndarray:
+        """Global argmax from per-stripe ``(max, argmax)`` pairs ``[B, 2k]``.
+
+        Strictly-greater comparison walking stripes in order makes ties
+        resolve to the lowest vocabulary index — identical to a serial
+        ``np.argmax`` over the assembled logits row.
+        """
+        best_val = gathered[:, 0].copy()
+        best_idx = gathered[:, 1].copy()
+        for c in range(1, stripes):
+            val = gathered[:, 2 * c]
+            idx = gathered[:, 2 * c + 1]
+            better = val > best_val
+            best_val = np.where(better, val, best_val)
+            best_idx = np.where(better, idx, best_idx)
+        return best_idx
+
+
+# ======================================================================
+class OptimusServingEngine(ServingEngine):
+    """Decode over the 2-D mesh: slots partitioned across mesh rows."""
+
+    scheme = "optimus"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ModelConfig,
+        params_global: dict,
+        q: int,
+        num_slots: int,
+        block_size: int,
+        blocks_per_group: int,
+    ):
+        super().__init__(sim, cfg)
+        if num_slots % q:
+            raise ValueError(f"num_slots {num_slots} not divisible by mesh q={q}")
+        cfg.validate_for_optimus(q, num_slots)
+        self.mesh = Mesh(sim, q)
+        self.model = OptimusModel(self.mesh, cfg, params_global, checkpoint_activations=False)
+        self.q = q
+        self.n_loc = cfg.num_heads // q
+        self.slots_per_row = num_slots // q
+        groups = [
+            KVShardGroup(
+                gid=i,
+                ranks=tuple(self.mesh.rank(i, j) for j in range(q)),
+                slots=tuple(range(i * self.slots_per_row, (i + 1) * self.slots_per_row)),
+            )
+            for i in range(q)
+        ]
+        self.cache = ShardedKVCache(
+            sim,
+            groups,
+            num_layers=cfg.num_layers,
+            heads_loc=self.n_loc,
+            head_dim=cfg.head_dim,
+            block_size=block_size,
+            blocks_per_group=blocks_per_group,
+            dtype="float64",
+        )
+        self.scheduler = ContinuousBatchingScheduler(self.cache)
+        self.all_ranks = list(self.mesh.ranks)
+
+    # ------------------------------------------------------------------
+    def _rows_of(self, entries: List[LaneInput]) -> List[List[LaneInput]]:
+        rows: List[List[LaneInput]] = [[] for _ in range(self.q)]
+        for e in entries:
+            rows[e.slot // self.slots_per_row].append(e)
+        return rows
+
+    def lanes_in_step(self, entries: List[LaneInput]) -> int:
+        rows = self._rows_of(entries)
+        return self.q * max(len(r) for r in rows)
+
+    def step(self, entries: List[LaneInput]) -> Dict[int, int]:
+        mesh, cfg, model = self.mesh, self.cfg, self.model
+        q, n_loc, d = self.q, self.n_loc, cfg.head_dim
+        rows = self._rows_of(entries)
+        width = max(len(r) for r in rows)
+
+        # BLOCKED_2D needs equal per-row lane counts: rows with fewer active
+        # slots run padding lanes (token 0, length-1 self-attention, output
+        # discarded) — the static-shape waste the report attributes to
+        # "padding".
+        ids = np.zeros((q * width, 1), dtype=np.int64)
+        for i, row in enumerate(rows):
+            for w, e in enumerate(row):
+                ids[i * width + w, 0] = e.token
+        x = model.embedding.forward(distribute_row_blocked(mesh, ids))
+
+        for layer in model.layers:
+            a = layer.ln1.forward(x)
+            qkv = layer.attn.qkv_linear.forward(a)  # [q·width, 3h] blocked
+            ctx_shards = {}
+            for i in range(q):
+                row = rows[i]
+                for j in range(q):
+                    rank = mesh.rank(i, j)
+                    local = np.asarray(qkv.local(rank)).reshape((width, n_loc, 3, d))
+                    dev = mesh.device(rank)
+                    ctx = np.empty((width, n_loc, d), dtype=local.dtype)
+                    for w in range(width):
+                        k_vec = local[w, :, 1, :]
+                        v_vec = local[w, :, 2, :]
+                        if w < len(row):
+                            e = row[w]
+                            self.cache.write(e.slot, layer.index, rank, e.pos, k_vec, v_vec)
+                            k_cat, v_cat = self.cache.gather(e.slot, layer.index, rank, e.pos + 1)
+                        else:  # padding lane: fresh K/V only, nothing cached
+                            k_cat = k_vec[:, None, :]
+                            v_cat = v_vec[:, None, :]
+                        c, probs = decode_attention_fwd(local[w, :, 0, :], k_cat, v_cat)
+                        ctx[w] = c
+                        self._charge_attention(dev, n_loc, k_cat.shape[1], d, probs)
+                    ctx_shards[rank] = ctx.reshape((width, n_loc * d))
+            ctx_dt = DTensor(mesh, BLOCKED_2D, ctx_shards, (q * width, cfg.hidden_size))
+            x = x + layer.attn.out_linear.forward(ctx_dt)
+            self._charge_add(x)
+            x = x + layer.mlp.forward(layer.ln2.forward(x))
+            self._charge_add(x)
+
+        out = model.final_ln.forward(x)
+        logits = model.lm_head.forward(out)  # [q·width, v] blocked
+        sampled = self._sample_greedy(logits, rows, width)
+        model.drop_caches()
+        model.buffers.reset_region("forward")
+        return sampled
+
+    def _charge_add(self, dt: DTensor) -> None:
+        for rank, shard in dt.shards.items():
+            dev = self.mesh.device(rank)
+            dev.compute(_ELEMWISE_COST["add"] * shard.size, kind="elementwise")
+
+    def _sample_greedy(
+        self, logits: DTensor, rows: List[List[LaneInput]], width: int
+    ) -> Dict[int, int]:
+        mesh, q = self.mesh, self.q
+        v_loc = self.cfg.vocab_size // q
+        sampled: Dict[int, int] = {}
+        for i in range(q):
+            grp = mesh.row_group(i)
+            shards = {}
+            for j in range(q):
+                rank = mesh.rank(i, j)
+                ll = np.asarray(logits.local(rank))
+                mx = ll.max(axis=1)
+                ix = ll.argmax(axis=1).astype(ll.dtype) + j * v_loc
+                shards[rank] = np.stack([mx, ix], axis=1)  # [width, 2]
+                mesh.device(rank).compute(2.0 * ll.size, kind="elementwise")
+            gathered = coll.all_gather(grp, shards, axis=1)  # [width, 2q]
+            best = self._pick_winner(np.asarray(gathered[mesh.rank(i, 0)]), stripes=q)
+            for w, e in enumerate(rows[i]):
+                sampled[e.slot] = int(best[w])
+        return sampled
+
+
+# ======================================================================
+class MegatronServingEngine(ServingEngine):
+    """Decode over a flat 1-D group: every rank sees every sequence."""
+
+    scheme = "megatron"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ModelConfig,
+        params_global: dict,
+        num_slots: int,
+        block_size: int,
+        blocks_per_group: int,
+    ):
+        super().__init__(sim, cfg)
+        p = sim.num_ranks
+        cfg.validate_for_megatron(p, num_slots)
+        self.model = MegatronModel(sim, cfg, params_global, checkpoint_activations=False)
+        self.group = self.model.group
+        self.p = p
+        self.n_loc = cfg.num_heads // p
+        groups = [KVShardGroup(gid=0, ranks=tuple(self.group.ranks), slots=tuple(range(num_slots)))]
+        self.cache = ShardedKVCache(
+            sim,
+            groups,
+            num_layers=cfg.num_layers,
+            heads_loc=self.n_loc,
+            head_dim=cfg.head_dim,
+            block_size=block_size,
+            blocks_per_group=blocks_per_group,
+            dtype="float64",
+        )
+        self.scheduler = ContinuousBatchingScheduler(self.cache)
+        self.all_ranks = list(self.group.ranks)
+
+    def lanes_in_step(self, entries: List[LaneInput]) -> int:
+        return len(entries)  # replicated activations: no shape padding
+
+    def step(self, entries: List[LaneInput]) -> Dict[int, int]:
+        cfg, model, group = self.cfg, self.model, self.group
+        n_loc, d = self.n_loc, cfg.head_dim
+        B = len(entries)
+
+        ids = np.array([[e.token] for e in entries], dtype=np.int64)
+        x = model.embedding.forward(distribute_replicated_1d(group, ids))
+
+        for layer in model.layers:
+            a = layer.ln1.forward(x)
+            qkv = layer.attn.qkv_linear.forward(a)  # [B, 3h] column-sharded
+            ctx_shards = {}
+            for rank in group.ranks:
+                local = np.asarray(qkv.local(rank)).reshape((B, n_loc, 3, d))
+                dev = group.sim.device(rank)
+                ctx = np.empty((B, n_loc, d), dtype=local.dtype)
+                for w, e in enumerate(entries):
+                    k_vec, v_vec = local[w, :, 1, :], local[w, :, 2, :]
+                    self.cache.write(e.slot, layer.index, rank, e.pos, k_vec, v_vec)
+                    k_cat, v_cat = self.cache.gather(e.slot, layer.index, rank, e.pos + 1)
+                    c, probs = decode_attention_fwd(local[w, :, 0, :], k_cat, v_cat)
+                    ctx[w] = c
+                    self._charge_attention(dev, n_loc, k_cat.shape[1], d, probs)
+                ctx_shards[rank] = ctx.reshape((B, n_loc * d))
+            ctx_dt = DTensor(group, SHARDED_1D(1), ctx_shards, (B, cfg.hidden_size))
+            x = x + layer.attn.out_linear.forward(ctx_dt)
+            self._charge_add(x)
+            x = x + layer.mlp.forward(layer.ln2.forward(x))
+            self._charge_add(x)
+
+        out = model.final_ln.forward(x)
+        logits = model.lm_head.forward(out)  # [B, v] vocab-sharded
+        sampled = self._sample_greedy(logits, entries)
+        model.drop_caches()
+        model.buffers.reset_region("forward")
+        return sampled
+
+    def _charge_add(self, dt: DTensor) -> None:
+        for rank, shard in dt.shards.items():
+            dev = self.group.sim.device(rank)
+            dev.compute(_ELEMWISE_COST["add"] * shard.size, kind="elementwise")
+
+    def _sample_greedy(self, logits: DTensor, entries: List[LaneInput]) -> Dict[int, int]:
+        group, p = self.group, self.p
+        v_loc = self.cfg.vocab_size // p
+        shards = {}
+        for k, rank in enumerate(group.ranks):
+            ll = np.asarray(logits.local(rank))
+            mx = ll.max(axis=1)
+            ix = ll.argmax(axis=1).astype(ll.dtype) + k * v_loc
+            shards[rank] = np.stack([mx, ix], axis=1)  # [B, 2]
+            group.sim.device(rank).compute(2.0 * ll.size, kind="elementwise")
+        gathered = coll.all_gather(group, shards, axis=1)  # [B, 2p]
+        best = self._pick_winner(np.asarray(gathered[group.ranks[0]]), stripes=p)
+        return {e.slot: int(best[w]) for w, e in enumerate(entries)}
+
+
+# ======================================================================
+def make_engine(
+    scheme: str,
+    cfg: ModelConfig,
+    params_global: dict,
+    q: int,
+    num_slots: int,
+    block_size: int,
+    blocks_per_group: int,
+) -> ServingEngine:
+    """Build a fresh simulator + engine for one serving arm.
+
+    ``q`` sizes both schemes to the same device count: a q×q mesh for
+    Optimus, a flat p = q² group for Megatron (the paper's comparison)."""
+    if scheme == "optimus":
+        sim = Simulator.for_mesh(q)
+        return OptimusServingEngine(
+            sim, cfg, params_global, q, num_slots, block_size, blocks_per_group
+        )
+    if scheme == "megatron":
+        sim = Simulator.for_flat(q * q)
+        return MegatronServingEngine(
+            sim, cfg, params_global, num_slots, block_size, blocks_per_group
+        )
+    raise ValueError(f"unknown serving scheme {scheme!r}")

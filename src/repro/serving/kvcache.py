@@ -1,0 +1,228 @@
+"""Block-partitioned sharded KV-cache for autoregressive decode.
+
+Layout mirrors how the two schemes partition attention:
+
+* **Optimus (2-D)** — attention is local per rank with b and n partitioned
+  (s never is), so KV slots are assigned to mesh *rows*: the q ranks of row
+  i each hold the cache of row i's slots for their n/q head block.  Per
+  device that is ``2·L·(S/q)·s·(n/q)·d`` elements = ``O(bsh/p)``.
+* **Megatron (1-D)** — heads are split p ways and every rank sees every
+  sequence, so one shard group spans all p ranks with n/p heads each —
+  also ``O(bsh/p)``.
+
+Storage is paged: each slot owns a table of fixed-size *blocks*
+(``block_size`` token positions), drawn from a per-group
+:class:`KVBlockPool` with a hard capacity.  Blocks are reserved up-front at
+admission (conservative reservation — no mid-flight OOM, no preemption) and
+freed when the sequence is evicted.  Backing arrays come from the shared
+:class:`~repro.core.buffers.ArrayPool` free-list, and every block
+allocation/free is charged to the owning simulated devices' memory meters
+under the ``"kvcache"`` tag, so serving peaks show up in ledger watermarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.buffers import ArrayPool
+
+KV_MEMORY_TAG = "kvcache"
+
+
+class KVBlockPool:
+    """A fixed budget of block ids for one shard group (lowest-id-first)."""
+
+    def __init__(self, gid: int, num_blocks: int):
+        if num_blocks < 1:
+            raise ValueError(f"group {gid}: num_blocks must be >= 1")
+        self.gid = gid
+        self.capacity = num_blocks
+        self._free: List[int] = list(range(num_blocks))
+        heapq.heapify(self._free)
+        self.peak_in_use = 0
+
+    @property
+    def free(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - len(self._free)
+
+    def allocate(self, count: int) -> List[int]:
+        if count > self.free:
+            raise RuntimeError(
+                f"KV block pool {self.gid} exhausted: need {count}, free {self.free}"
+            )
+        ids = [heapq.heappop(self._free) for _ in range(count)]
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        return ids
+
+    def release(self, ids: Sequence[int]) -> None:
+        for b in ids:
+            heapq.heappush(self._free, b)
+        if len(self._free) > self.capacity:
+            raise RuntimeError(f"KV block pool {self.gid}: double free detected")
+
+
+@dataclass(frozen=True)
+class KVShardGroup:
+    """One replication group of the cache: which ranks store which slots."""
+
+    gid: int
+    ranks: Tuple[int, ...]
+    slots: Tuple[int, ...]
+
+
+class ShardedKVCache:
+    """Paged K/V storage sharded across a simulator's devices."""
+
+    def __init__(
+        self,
+        sim,
+        groups: Sequence[KVShardGroup],
+        num_layers: int,
+        heads_loc: int,
+        head_dim: int,
+        block_size: int,
+        blocks_per_group: int,
+        dtype: str = "float64",
+        pool: Optional[ArrayPool] = None,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.sim = sim
+        self.groups = tuple(groups)
+        self.num_layers = num_layers
+        self.heads_loc = heads_loc
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.dtype = np.dtype(dtype)
+        self.pool = pool if pool is not None else ArrayPool()
+        self.pools: Dict[int, KVBlockPool] = {
+            g.gid: KVBlockPool(g.gid, blocks_per_group) for g in self.groups
+        }
+        self._group_of_slot: Dict[int, KVShardGroup] = {}
+        for g in self.groups:
+            for s in g.slots:
+                if s in self._group_of_slot:
+                    raise ValueError(f"slot {s} assigned to two shard groups")
+                self._group_of_slot[s] = g
+        #: (gid, block_id) -> {(layer, rank): (k [n_loc, bs, d], v [n_loc, bs, d])}
+        self._storage: Dict[Tuple[int, int], Dict[Tuple[int, int], Tuple]] = {}
+        self._tables: Dict[int, List[int]] = {}  # slot -> block ids, in order
+        self._lengths: Dict[int, int] = {}  # slot -> committed token count
+
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self._group_of_slot)
+
+    def group_of(self, slot: int) -> KVShardGroup:
+        return self._group_of_slot[slot]
+
+    def blocks_needed(self, kv_positions: int) -> int:
+        return -(-max(kv_positions, 1) // self.block_size)
+
+    def can_reserve(self, slot: int, kv_positions: int) -> bool:
+        g = self.group_of(slot)
+        return self.pools[g.gid].free >= self.blocks_needed(kv_positions)
+
+    def bytes_per_rank_block(self) -> int:
+        """Device bytes one block occupies on one rank (K+V, all layers)."""
+        per_layer = 2 * self.heads_loc * self.block_size * self.head_dim
+        return per_layer * self.num_layers * self.dtype.itemsize
+
+    def per_device_capacity_bytes(self) -> int:
+        """KV bytes a fully-used pool pins on each device of a group."""
+        any_gid = self.groups[0].gid
+        return self.pools[any_gid].capacity * self.bytes_per_rank_block()
+
+    # ------------------------------------------------------------------
+    def reserve(self, slot: int, kv_positions: int) -> None:
+        """Allocate (and charge) every block the sequence will ever need."""
+        if slot in self._tables:
+            raise RuntimeError(f"slot {slot} already reserved")
+        g = self.group_of(slot)
+        need = self.blocks_needed(kv_positions)
+        block_ids = self.pools[g.gid].allocate(need)
+        nbytes = self.bytes_per_rank_block()
+        shape = (self.heads_loc, self.block_size, self.head_dim)
+        for b in block_ids:
+            store: Dict[Tuple[int, int], Tuple] = {}
+            for rank in g.ranks:
+                self.sim.device(rank).memory.alloc(nbytes, tag=KV_MEMORY_TAG)
+                for layer in range(self.num_layers):
+                    store[(layer, rank)] = (
+                        self.pool.acquire(shape, self.dtype),
+                        self.pool.acquire(shape, self.dtype),
+                    )
+            self._storage[(g.gid, b)] = store
+        self._tables[slot] = block_ids
+        self._lengths[slot] = 0
+
+    def free(self, slot: int) -> None:
+        """Evict a sequence: release its blocks and uncharge device memory."""
+        g = self.group_of(slot)
+        block_ids = self._tables.pop(slot)
+        self._lengths.pop(slot)
+        nbytes = self.bytes_per_rank_block()
+        for b in block_ids:
+            store = self._storage.pop((g.gid, b))
+            for (_layer, _rank), (k, v) in store.items():
+                self.pool.release(k)
+                self.pool.release(v)
+            for rank in g.ranks:
+                self.sim.device(rank).memory.free(nbytes, tag=KV_MEMORY_TAG)
+        self.pools[g.gid].release(block_ids)
+
+    # ------------------------------------------------------------------
+    def write(self, slot: int, layer: int, rank: int, pos: int, k_vec, v_vec) -> None:
+        """Store one token's K/V (``[n_loc, d]``) at cache position ``pos``."""
+        g = self.group_of(slot)
+        table = self._tables[slot]
+        b, off = divmod(pos, self.block_size)
+        k_arr, v_arr = self._storage[(g.gid, table[b])][(layer, rank)]
+        k_arr[:, off, :] = k_vec
+        v_arr[:, off, :] = v_vec
+
+    def gather(self, slot: int, layer: int, rank: int, upto: int):
+        """K/V for positions ``[0, upto)`` as ``[n_loc, upto, d]`` arrays."""
+        g = self.group_of(slot)
+        table = self._tables[slot]
+        bs = self.block_size
+        nblocks = -(-upto // bs)
+        if nblocks == 1:
+            k_arr, v_arr = self._storage[(g.gid, table[0])][(layer, rank)]
+            return k_arr[:, :upto, :], v_arr[:, :upto, :]
+        ks, vs = [], []
+        for b in range(nblocks):
+            k_arr, v_arr = self._storage[(g.gid, table[b])][(layer, rank)]
+            hi = min(bs, upto - b * bs)
+            ks.append(k_arr[:, :hi, :])
+            vs.append(v_arr[:, :hi, :])
+        return np.concatenate(ks, axis=1), np.concatenate(vs, axis=1)
+
+    def commit(self, slot: int) -> None:
+        """Advance the committed length after a token's K/V is fully written."""
+        self._lengths[slot] += 1
+
+    def length(self, slot: int) -> int:
+        return self._lengths[slot]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "block_size": self.block_size,
+            "blocks_per_group": self.pools[self.groups[0].gid].capacity,
+            "num_groups": len(self.groups),
+            "peak_blocks_in_use": {
+                str(gid): p.peak_in_use for gid, p in sorted(self.pools.items())
+            },
+            "bytes_per_rank_block": self.bytes_per_rank_block(),
+            "per_device_capacity_bytes": self.per_device_capacity_bytes(),
+        }

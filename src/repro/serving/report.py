@@ -1,0 +1,401 @@
+"""Serving run orchestration and the ``repro-serve-v1`` report.
+
+One :func:`run_serve` call plays a seeded traffic trace through each
+requested (scheme × arrival-profile) arm on a fresh simulator and distills
+the result into a byte-deterministic JSON document: latency percentiles
+(TTFT and end-to-end), goodput, SLO attainment, per-phase time attribution
+(prefill / decode / padding / idle) and KV-cache accounting.  Nothing
+host-dependent goes in — no wall-clock, no paths, no git state — so two
+runs with the same seed produce byte-identical files (CI diffs them).
+
+The same module carries the SLO regression gate
+(:func:`compare_reports`, used by ``repro serve --compare``) and the
+batched-vs-per-rank bit-exactness check (``--ab``): the decode forward
+rides the SUMMA engine, so flipping ``REPRO_SUMMA_BATCHED`` must change
+*nothing* in the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import ModelConfig, tiny_config
+from repro.core import summa
+from repro.nn.init import init_transformer_params
+from repro.obs.ledger import RunLedger, canonical_json, record_from_sim
+from repro.serving.engine import ServingResult, make_engine
+from repro.serving.traffic import ARRIVAL_PROFILES, Request, TrafficGenerator
+
+REPORT_SCHEMA = "repro-serve-v1"
+
+#: parameters are drawn once with a *fixed* seed — the model is the same
+#: deployed artifact across all arms and seeds; only traffic varies.
+PARAM_SEED = 1
+
+SCHEMES = ("optimus", "megatron")
+
+DEFAULTS = {
+    "q": 2,
+    "slots": 8,
+    "block_size": 8,
+    "blocks": 12,  # per optimus row-group; megatron gets blocks*q (equal bytes/device)
+    "rate_rps": 1000.0,
+    "requests": 32,
+    "slo_ttft": 0.005,
+    "slo_tpot": 0.0005,
+}
+QUICK = {"requests": 10}
+
+
+# ----------------------------------------------------------------------
+# latency statistics (manual interpolation: stable across numpy versions)
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile of ``values`` (p in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    xs = sorted(float(v) for v in values)
+    if len(xs) == 1:
+        return xs[0]
+    rank = (p / 100.0) * (len(xs) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = rank - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def summarize(values: Sequence[float]) -> dict:
+    return {
+        "p50": percentile(values, 50.0),
+        "p99": percentile(values, 99.0),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+# ----------------------------------------------------------------------
+# one (scheme, arrival) arm
+# ----------------------------------------------------------------------
+def _tpot(state) -> float:
+    """Time-per-output-token over the decode stretch (0.0 for max_new == 1)."""
+    n = state.request.max_new
+    return (state.finish_time - state.first_token_time) / (n - 1) if n > 1 else 0.0
+
+
+def run_arm(
+    scheme: str,
+    cfg: ModelConfig,
+    params: dict,
+    requests: List[Request],
+    *,
+    q: int,
+    slots: int,
+    block_size: int,
+    blocks: int,
+    slo_ttft: float,
+    slo_tpot: float,
+) -> Tuple[dict, object]:
+    """Run one arm; returns (report entry, simulator) — sim for the ledger."""
+    # equal per-device KV bytes across schemes: megatron shards heads q×
+    # thinner (p = q² ranks), so its single pool gets q× the blocks.
+    blocks_per_group = blocks if scheme == "optimus" else blocks * q
+    engine = make_engine(scheme, cfg, params, q, slots, block_size, blocks_per_group)
+    result: ServingResult = engine.run(requests)
+
+    if len(result.completed) != len(requests):
+        raise RuntimeError(f"{scheme}: {len(result.completed)}/{len(requests)} requests completed")
+    by_rid = sorted(result.completed, key=lambda s: s.request.rid)
+    ttft = [s.first_token_time - s.request.arrival for s in by_rid]
+    e2e = [s.finish_time - s.request.arrival for s in by_rid]
+    tpot = [_tpot(s) for s in by_rid]
+    ok = [t <= slo_ttft and tp <= slo_tpot for t, tp in zip(ttft, tpot)]
+    makespan = result.clock
+    good_tokens = sum(len(s.generated) for s, o in zip(by_rid, ok) if o)
+    token_doc = canonical_json({str(s.request.rid): list(s.generated) for s in by_rid})
+    checksum = hashlib.sha256(token_doc.encode()).hexdigest()[:16]
+
+    entry = {
+        "scheme": scheme,
+        "devices": engine.sim.num_ranks,
+        "requests": len(requests),
+        "completed": len(result.completed),
+        "ttft_s": summarize(ttft),
+        "e2e_s": summarize(e2e),
+        "tpot_s": summarize(tpot),
+        "makespan_s": makespan,
+        "throughput_tokens_per_s": result.generated_tokens / makespan,
+        "goodput_tokens_per_s": good_tokens / makespan,
+        "slo_attainment": sum(ok) / len(ok),
+        "prompt_tokens": result.prompt_tokens,
+        "generated_tokens": result.generated_tokens,
+        "steps": result.steps,
+        "lane_steps": result.lane_steps,
+        "padded_lane_steps": result.padded_lane_steps,
+        "phases_s": dict(result.attribution),
+        "scheduler": result.scheduler_stats,
+        "kv_cache": result.cache_stats,
+        "tokens_sha256": checksum,
+    }
+    return entry, engine.sim
+
+
+# ----------------------------------------------------------------------
+# full report
+# ----------------------------------------------------------------------
+def run_serve(
+    seed: int = 0,
+    *,
+    quick: bool = False,
+    schemes: Sequence[str] = SCHEMES,
+    arrivals: Sequence[str] = ARRIVAL_PROFILES,
+    requests: Optional[int] = None,
+    rate_rps: Optional[float] = None,
+    q: Optional[int] = None,
+    slots: Optional[int] = None,
+    block_size: Optional[int] = None,
+    blocks: Optional[int] = None,
+    slo_ttft: Optional[float] = None,
+    slo_tpot: Optional[float] = None,
+    ledger: Optional[RunLedger] = None,
+) -> dict:
+    """Run every (scheme × arrival) arm and assemble the report document."""
+    knobs = dict(DEFAULTS)
+    if quick:
+        knobs.update(QUICK)
+        arrivals = tuple(a for a in arrivals if a == "poisson") or ("poisson",)
+    overrides = (
+        ("requests", requests),
+        ("rate_rps", rate_rps),
+        ("q", q),
+        ("slots", slots),
+        ("block_size", block_size),
+        ("blocks", blocks),
+        ("slo_ttft", slo_ttft),
+        ("slo_tpot", slo_tpot),
+    )
+    for name, val in overrides:
+        if val is not None:
+            knobs[name] = val
+    for s in schemes:
+        if s not in SCHEMES:
+            raise ValueError(f"unknown scheme {s!r} (choose from {SCHEMES})")
+
+    cfg = tiny_config(num_heads=4)
+    params = init_transformer_params(cfg, seed=PARAM_SEED)
+    qq = int(knobs["q"])
+
+    traffic_docs = []
+    entries = []
+    for arrival in arrivals:
+        gen = TrafficGenerator(
+            seed=seed,
+            vocab_size=cfg.vocab_size,
+            arrival=arrival,
+            rate_rps=float(knobs["rate_rps"]),
+            num_requests=int(knobs["requests"]),
+        )
+        traffic_docs.append(gen.describe())
+        trace = gen.generate()
+        for scheme in schemes:
+            entry, sim = run_arm(
+                scheme,
+                cfg,
+                params,
+                trace,
+                q=qq,
+                slots=int(knobs["slots"]),
+                block_size=int(knobs["block_size"]),
+                blocks=int(knobs["blocks"]),
+                slo_ttft=float(knobs["slo_ttft"]),
+                slo_tpot=float(knobs["slo_tpot"]),
+            )
+            entry["arrival"] = arrival
+            entries.append(entry)
+            if ledger is not None:
+                mesh = {"q": qq} if scheme == "optimus" else {"arrangement": "flat"}
+                record = record_from_sim(
+                    "serve",
+                    sim,
+                    label=f"serve/{scheme}/{arrival}",
+                    scheme=scheme,
+                    seed=seed,
+                    config=cfg,
+                    mesh=mesh,
+                    extra={
+                        "arrival": arrival,
+                        "num_requests": int(knobs["requests"]),
+                        "traffic_seed": seed,
+                        "rate_rps": float(knobs["rate_rps"]),
+                        "generated_tokens": entry["generated_tokens"],
+                        "goodput_tokens_per_s": entry["goodput_tokens_per_s"],
+                        "slo_attainment": entry["slo_attainment"],
+                        "p99_e2e_s": entry["e2e_s"]["p99"],
+                        "tokens_sha256": entry["tokens_sha256"],
+                    },
+                )
+                ledger.append(record)
+
+    return {
+        "report": REPORT_SCHEMA,
+        "seed": seed,
+        "quick": bool(quick),
+        "model": {**asdict(cfg), "param_seed": PARAM_SEED},
+        "serving": {
+            "q": qq,
+            "slots": int(knobs["slots"]),
+            "block_size": int(knobs["block_size"]),
+            "blocks": int(knobs["blocks"]),
+            "rate_rps": float(knobs["rate_rps"]),
+        },
+        "slo": {"ttft_s": float(knobs["slo_ttft"]), "tpot_s": float(knobs["slo_tpot"])},
+        "summa_flags": summa.effective_flags(),
+        "traffic": traffic_docs,
+        "schemes": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# batched-mesh bit-exactness (--ab)
+# ----------------------------------------------------------------------
+def run_ab(seed: int = 0, quick: bool = True, **kw) -> dict:
+    """Run the whole report under the per-rank and the batched SUMMA engine
+    and demand byte equality — serving inherits the training engines'
+    bit-exactness guarantee or this returns ``equal: False``."""
+    saved = summa.effective_flags()
+    try:
+        summa.configure(batched=False)
+        per_rank = run_serve(seed, quick=quick, **kw)
+        summa.configure(batched=True)
+        batched = run_serve(seed, quick=quick, **kw)
+    finally:
+        summa.configure(**saved)
+    # the flag snapshot is the one field that legitimately differs
+    a = {k: v for k, v in per_rank.items() if k != "summa_flags"}
+    b = {k: v for k, v in batched.items() if k != "summa_flags"}
+    equal = canonical_json(a) == canonical_json(b)
+    return {
+        "report": "repro-serve-ab-v1",
+        "seed": seed,
+        "equal": equal,
+        "per_rank": per_rank,
+        "batched": batched,
+    }
+
+
+# ----------------------------------------------------------------------
+# SLO regression gate (--compare)
+# ----------------------------------------------------------------------
+def compare_reports(current: dict, baseline: dict, threshold: float = 0.20):
+    """Gate ``current`` against ``baseline``: per (scheme, arrival) arm,
+    p99 end-to-end latency must not grow and goodput must not shrink by
+    more than ``threshold`` (relative).  Returns ``(ok, lines)``.
+
+    Both reports come from the same deterministic simulator, so the ratios
+    compare like-for-like regardless of host speed."""
+    lines: List[str] = []
+    ok = True
+    base_by_key = {(e["scheme"], e["arrival"]): e for e in baseline["schemes"]}
+    cur_by_key = {(e["scheme"], e["arrival"]): e for e in current["schemes"]}
+    for key, base in sorted(base_by_key.items()):
+        cur = cur_by_key.get(key)
+        name = "/".join(key)
+        if cur is None:
+            ok = False
+            lines.append(f"FAIL {name}: arm missing from current report")
+            continue
+        bp99, cp99 = base["e2e_s"]["p99"], cur["e2e_s"]["p99"]
+        bgood, cgood = base["goodput_tokens_per_s"], cur["goodput_tokens_per_s"]
+        p99_ratio = cp99 / bp99 if bp99 > 0 else 1.0
+        good_ratio = cgood / bgood if bgood > 0 else 1.0
+        arm_ok = True
+        if p99_ratio > 1.0 + threshold:
+            arm_ok = False
+            lines.append(
+                f"FAIL {name}: p99 e2e {cp99:.6f}s vs baseline {bp99:.6f}s "
+                f"({p99_ratio:.2f}x > {1 + threshold:.2f}x)"
+            )
+        if good_ratio < 1.0 - threshold:
+            arm_ok = False
+            lines.append(
+                f"FAIL {name}: goodput {cgood:.1f} tok/s vs baseline {bgood:.1f} "
+                f"({good_ratio:.2f}x < {1 - threshold:.2f}x)"
+            )
+        if arm_ok:
+            lines.append(f"ok   {name}: p99 {p99_ratio:.2f}x, goodput {good_ratio:.2f}x")
+        ok = ok and arm_ok
+    return ok, lines
+
+
+# ----------------------------------------------------------------------
+# text rendering + CLI driver
+# ----------------------------------------------------------------------
+def render_text(report: dict) -> str:
+    head = (
+        f"{'scheme':<10} {'arrival':<8} {'p50 ttft':>10} {'p99 e2e':>10} "
+        f"{'goodput':>10} {'SLO':>6} {'steps':>6}"
+    )
+    rows = [head, "-" * len(head)]
+    for e in report["schemes"]:
+        rows.append(
+            f"{e['scheme']:<10} {e['arrival']:<8} "
+            f"{e['ttft_s']['p50'] * 1e3:>8.3f}ms {e['e2e_s']['p99'] * 1e3:>8.3f}ms "
+            f"{e['goodput_tokens_per_s']:>10.1f} {e['slo_attainment']:>6.2f} "
+            f"{e['steps']:>6}"
+        )
+    return "\n".join(rows)
+
+
+def write_report(report: dict, path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def cmd_serve(args) -> int:
+    """Driver for ``python -m repro serve`` (returns the exit code)."""
+    ledger = RunLedger(args.ledger) if getattr(args, "ledger", None) else None
+    kw = dict(
+        schemes=tuple(args.scheme) if args.scheme else SCHEMES,
+        arrivals=tuple(args.arrival) if args.arrival else ARRIVAL_PROFILES,
+        requests=args.requests,
+        rate_rps=args.rate,
+        q=args.q,
+        slots=args.slots,
+        block_size=args.block_size,
+        blocks=args.blocks,
+        slo_ttft=args.slo_ttft,
+        slo_tpot=args.slo_tpot,
+    )
+    if args.ab:
+        ab = run_ab(args.seed, quick=args.quick, **kw)
+        if args.out:
+            write_report(ab, args.out)
+        print(render_text(ab["per_rank"]))
+        if not ab["equal"]:
+            print("FAIL: batched-mesh serving report differs from per-rank")
+            return 1
+        print("ok: batched-mesh and per-rank serving reports are byte-identical")
+        return 0
+
+    report = run_serve(args.seed, quick=args.quick, ledger=ledger, **kw)
+    if args.out:
+        write_report(report, args.out)
+    print(render_text(report))
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        ok, lines = compare_reports(report, baseline, threshold=args.threshold)
+        print()
+        print(f"SLO gate vs {args.compare} (threshold {args.threshold:.0%}):")
+        for line in lines:
+            print("  " + line)
+        if not ok:
+            return 1
+    return 0

@@ -1,0 +1,134 @@
+"""Continuous-batching scheduler (Orca-style iteration-level scheduling).
+
+At *every* decode step the engine asks the scheduler to admit newly-arrived
+requests and, after the step, evicts finished sequences — there is no
+static batch.  Admission policy:
+
+* **strict FCFS** — requests are considered in arrival order and the head
+  of the queue never gets skipped: if it cannot be placed (no free slot,
+  or not enough free KV blocks in any candidate slot's group), admission
+  stops for this step.  Head-of-line blocking is accepted in exchange for
+  a starvation-free guarantee (tested: admission order == arrival order).
+* **conservative reservation** — a request is only placed when its *whole*
+  KV footprint (``prompt + output − 1`` positions, rounded up to blocks)
+  can be reserved immediately, so a running sequence can never hit an
+  out-of-blocks condition mid-decode and preemption is never needed.
+* **deterministic placement** — the lowest-numbered eligible slot wins.
+
+Invariants (enforced here, asserted in ``tests/test_serving.py``):
+active sequences never exceed the slot count, per-group block usage never
+exceeds the pool capacity, and every block is back in its pool after the
+last eviction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.serving.kvcache import ShardedKVCache
+from repro.serving.traffic import Request
+
+
+@dataclass
+class SlotState:
+    """Progress of one admitted request through its slot."""
+
+    request: Request
+    slot: int
+    admit_time: float
+    fed: int = 0  # tokens fed to the model so far (prompt + generated)
+    generated: List[int] = field(default_factory=list)
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    @property
+    def in_prefill(self) -> bool:
+        """True while the next input token still comes from the prompt."""
+        return self.fed < self.request.prompt_len
+
+    def next_input(self) -> int:
+        return self.request.prompt[self.fed] if self.in_prefill else self.generated[-1]
+
+    @property
+    def done(self) -> bool:
+        return len(self.generated) >= self.request.max_new
+
+
+class ContinuousBatchingScheduler:
+    """Admit-at-every-step FCFS scheduler over a sharded KV cache."""
+
+    def __init__(self, cache: ShardedKVCache):
+        self.cache = cache
+        self.queue: Deque[Request] = deque()
+        self.active: Dict[int, SlotState] = {}
+        self.completed: List[SlotState] = []
+        self._free_slots: List[int] = sorted(s for g in cache.groups for s in g.slots)
+        self.num_slots = len(self._free_slots)
+        self.stats = {
+            "admitted": 0,
+            "finished": 0,
+            "max_active": 0,
+            "hol_blocked_steps": 0,  # admission stopped with the queue non-empty
+        }
+
+    # ------------------------------------------------------------------
+    def load(self, requests: List[Request]) -> None:
+        capacity = max(p.capacity for p in self.cache.pools.values())
+        for r in requests:
+            need = self.cache.blocks_needed(r.kv_positions)
+            if need > capacity:
+                raise ValueError(
+                    f"request {r.rid} needs {need} KV blocks but the largest "
+                    f"pool holds {capacity} — it could never be admitted"
+                )
+        self.queue = deque(sorted(requests, key=lambda r: (r.arrival, r.rid)))
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def next_arrival(self) -> Optional[float]:
+        return self.queue[0].arrival if self.queue else None
+
+    def incomplete(self) -> bool:
+        return bool(self.queue or self.active)
+
+    # ------------------------------------------------------------------
+    def admit(self, now: float) -> List[SlotState]:
+        """Admit arrived requests in strict FCFS order; returns new states."""
+        admitted: List[SlotState] = []
+        while self.queue and self.queue[0].arrival <= now:
+            req = self.queue[0]
+            slot = self._place(req)
+            if slot is None:
+                self.stats["hol_blocked_steps"] += 1
+                break  # strict FCFS: never skip the head of the queue
+            self.queue.popleft()
+            self._free_slots.remove(slot)
+            self.cache.reserve(slot, req.kv_positions)
+            state = SlotState(request=req, slot=slot, admit_time=now)
+            self.active[slot] = state
+            admitted.append(state)
+            self.stats["admitted"] += 1
+        self.stats["max_active"] = max(self.stats["max_active"], len(self.active))
+        return admitted
+
+    def _place(self, req: Request) -> Optional[int]:
+        for slot in self._free_slots:  # kept sorted: lowest slot wins
+            if self.cache.can_reserve(slot, req.kv_positions):
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+    def finish(self, slot: int, now: float) -> SlotState:
+        """Evict a finished sequence and free its KV blocks."""
+        state = self.active.pop(slot)
+        state.finish_time = now
+        self.cache.free(slot)
+        self._free_slots.append(slot)
+        self._free_slots.sort()
+        self.completed.append(state)
+        self.stats["finished"] += 1
+        return state

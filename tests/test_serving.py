@@ -1,0 +1,452 @@
+"""Serving engine tests: traffic, KV cache, scheduler, decode equivalence,
+report determinism and the ledger/dash/CLI integration."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.nn.init import init_transformer_params
+from repro.obs.ledger import RunLedger, RunRecord, compact
+from repro.reference.functional import gelu, layernorm_fwd
+from repro.runtime.simulator import Simulator
+from repro.serving.engine import make_engine
+from repro.serving.kvcache import (
+    KV_MEMORY_TAG,
+    KVBlockPool,
+    KVShardGroup,
+    ShardedKVCache,
+)
+from repro.serving.report import (
+    compare_reports,
+    percentile,
+    run_ab,
+    run_serve,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.traffic import Request, TrafficGenerator
+
+CFG = tiny_config(num_heads=4)
+PARAMS = init_transformer_params(CFG, seed=1)
+
+
+def _requests(specs):
+    """specs: iterable of (arrival, prompt_tuple, max_new)."""
+    return [
+        Request(rid=i, arrival=a, prompt=tuple(p), max_new=m)
+        for i, (a, p, m) in enumerate(specs)
+    ]
+
+
+def _flat_cache(sim, slots=4, block_size=4, blocks=16, layers=1, heads=2, d=3):
+    groups = [KVShardGroup(gid=0, ranks=tuple(sim.ranks), slots=tuple(range(slots)))]
+    return ShardedKVCache(
+        sim,
+        groups,
+        num_layers=layers,
+        heads_loc=heads,
+        head_dim=d,
+        block_size=block_size,
+        blocks_per_group=blocks,
+    )
+
+
+# ----------------------------------------------------------------------
+# traffic
+# ----------------------------------------------------------------------
+class TestTraffic:
+    def test_same_seed_is_identical(self):
+        a = TrafficGenerator(7, CFG.vocab_size).generate()
+        b = TrafficGenerator(7, CFG.vocab_size).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TrafficGenerator(7, CFG.vocab_size).generate()
+        b = TrafficGenerator(8, CFG.vocab_size).generate()
+        assert a != b
+
+    def test_sorted_by_arrival(self):
+        reqs = TrafficGenerator(0, CFG.vocab_size, num_requests=32).generate()
+        assert [r.arrival for r in reqs] == sorted(r.arrival for r in reqs)
+
+    def test_bursty_groups_arrivals(self):
+        reqs = TrafficGenerator(
+            0, CFG.vocab_size, arrival="bursty", burst_size=4, num_requests=12
+        ).generate()
+        arrivals = [r.arrival for r in reqs]
+        for i in range(0, 12, 4):
+            assert len(set(arrivals[i : i + 4])) == 1  # whole burst lands together
+        assert len(set(arrivals)) == 3
+
+    def test_tokens_in_vocab_and_kv_positions(self):
+        for r in TrafficGenerator(3, CFG.vocab_size).generate():
+            assert all(0 <= t < CFG.vocab_size for t in r.prompt)
+            assert r.kv_positions == r.prompt_len + r.max_new - 1
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(0, 48, arrival="adversarial")
+
+
+# ----------------------------------------------------------------------
+# KV block pool + sharded cache
+# ----------------------------------------------------------------------
+class TestKVCache:
+    def test_pool_exhaustion_raises(self):
+        pool = KVBlockPool(0, 4)
+        pool.allocate(3)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.allocate(2)
+
+    def test_pool_lowest_id_first_and_peak(self):
+        pool = KVBlockPool(0, 4)
+        ids = pool.allocate(2)
+        assert ids == [0, 1]
+        pool.release([0])
+        assert pool.allocate(1) == [0]  # reuses the lowest freed id
+        assert pool.peak_in_use == 2
+
+    def test_pool_double_free_raises(self):
+        pool = KVBlockPool(0, 2)
+        ids = pool.allocate(1)
+        pool.release(ids)
+        with pytest.raises(RuntimeError, match="double free"):
+            pool.release(ids)
+
+    def test_reserve_charges_and_free_refunds_device_memory(self):
+        sim = Simulator.for_flat(2)
+        cache = _flat_cache(sim, block_size=4, blocks=8)
+        before = [sim.device(r).memory.current for r in sim.ranks]
+        cache.reserve(0, kv_positions=10)  # 3 blocks of 4
+        per_block = cache.bytes_per_rank_block()
+        for r in sim.ranks:
+            assert sim.device(r).memory.current == before[r] + 3 * per_block
+        cache.free(0)
+        for r in sim.ranks:
+            assert sim.device(r).memory.current == before[r]
+        assert cache.pools[0].in_use == 0
+
+    def test_write_gather_round_trip_across_blocks(self):
+        sim = Simulator.for_flat(1)
+        cache = _flat_cache(sim, block_size=3, blocks=8, heads=2, d=3)
+        cache.reserve(0, kv_positions=7)  # spans 3 blocks
+        rng = np.random.default_rng(0)
+        ks = rng.normal(size=(7, 2, 3))
+        vs = rng.normal(size=(7, 2, 3))
+        for pos in range(7):
+            cache.write(0, 0, 0, pos, ks[pos], vs[pos])
+            cache.commit(0)
+        k_cat, v_cat = cache.gather(0, 0, 0, upto=7)
+        assert k_cat.shape == (2, 7, 3)
+        np.testing.assert_array_equal(k_cat, ks.transpose(1, 0, 2))
+        np.testing.assert_array_equal(v_cat, vs.transpose(1, 0, 2))
+
+    def test_equal_per_device_bytes_across_schemes(self):
+        """The report's blocks scaling keeps per-device KV bytes equal."""
+        q, blocks, bs = 2, 12, 8
+        opt = make_engine("optimus", CFG, PARAMS, q, 8, bs, blocks)
+        meg = make_engine("megatron", CFG, PARAMS, q, 8, bs, blocks * q)
+        assert opt.cache.per_device_capacity_bytes() == meg.cache.per_device_capacity_bytes()
+        # and the shard itself is O(bsh/p): q× thinner heads on q²/q× ranks
+        assert meg.cache.bytes_per_rank_block() * q == opt.cache.bytes_per_rank_block()
+
+
+# ----------------------------------------------------------------------
+# scheduler
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def _sched(self, slots=2, block_size=4, blocks=4):
+        sim = Simulator.for_flat(1)
+        cache = _flat_cache(sim, slots=slots, block_size=block_size, blocks=blocks)
+        return ContinuousBatchingScheduler(cache)
+
+    def test_fcfs_admission_order_is_arrival_order(self):
+        sched = self._sched(slots=2, blocks=16)
+        reqs = _requests([(0.3, (1, 2), 2), (0.1, (3,), 1), (0.2, (4,), 1)])
+        sched.load(reqs)
+        admitted = sched.admit(now=1.0)
+        assert [s.request.rid for s in admitted] == [1, 2]  # arrival order
+        assert sched.pending == 1  # no free slot for rid 0 yet
+        sched.finish(admitted[0].slot, now=1.5)
+        again = sched.admit(now=1.5)
+        assert [s.request.rid for s in again] == [0]  # head never skipped
+
+    def test_capacity_never_exceeded_and_hol_counted(self):
+        sched = self._sched(slots=1, blocks=16)
+        sched.load(_requests([(0.0, (1,), 1), (0.0, (2,), 1)]))
+        sched.admit(now=0.0)
+        assert len(sched.active) == 1
+        assert sched.stats["hol_blocked_steps"] == 1
+
+    def test_block_shortage_blocks_head_not_later_requests(self):
+        # 4 blocks of 4 positions; head needs 3 blocks, only 2 free
+        sched = self._sched(slots=2, block_size=4, blocks=4)
+        first = _requests([(0.0, tuple(range(8)), 1)])  # 8 positions → 2 blocks
+        sched.load(first)
+        sched.admit(now=0.0)
+        big = Request(rid=9, arrival=0.1, prompt=tuple(range(10)), max_new=2)
+        sched.queue.append(big)
+        sched.admit(now=0.2)
+        assert big.rid not in {s.request.rid for s in sched.active.values()}
+        assert sched.stats["hol_blocked_steps"] == 1
+
+    def test_evict_frees_blocks(self):
+        sched = self._sched(slots=2, blocks=4)
+        sched.load(_requests([(0.0, (1, 2, 3), 2)]))
+        (state,) = sched.admit(now=0.0)
+        assert sched.cache.pools[0].in_use == 1
+        sched.finish(state.slot, now=1.0)
+        assert sched.cache.pools[0].in_use == 0
+        assert state.finish_time == 1.0
+
+    def test_impossible_request_rejected_at_load(self):
+        sched = self._sched(slots=1, block_size=4, blocks=2)
+        huge = _requests([(0.0, tuple(range(30)), 4)])
+        with pytest.raises(ValueError, match="never be admitted"):
+            sched.load(huge)
+
+
+# ----------------------------------------------------------------------
+# latency statistics
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_hand_built_trace(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(xs, 50.0) == pytest.approx(5.5)
+        assert percentile(xs, 99.0) == pytest.approx(9.91)
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 100.0) == 10.0
+
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(0)
+        xs = rng.exponential(size=37).tolist()
+        for p in (50.0, 90.0, 99.0):
+            assert percentile(xs, p) == pytest.approx(float(np.percentile(xs, p)), rel=1e-12)
+
+    def test_singleton_and_empty(self):
+        assert percentile([3.25], 99.0) == 3.25
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+
+# ----------------------------------------------------------------------
+# decode equivalence: engines vs a naive full-recompute serial decoder
+# ----------------------------------------------------------------------
+def _serial_greedy_decode(cfg, params, prompt, max_new):
+    """Full-recompute causal decode with plain numpy — no KV cache at all."""
+    table = params["embedding.table"]
+    tokens = list(prompt)
+    n, d = cfg.num_heads, cfg.head_dim
+    for _ in range(max_new):
+        x = table[np.array(tokens)]  # [t, h]
+        t = x.shape[0]
+        mask = np.tril(np.ones((t, t), dtype=bool))
+        for layer in range(cfg.num_layers):
+            pre = f"layer{layer}."
+            p = {k[len(pre) :]: v for k, v in params.items() if k.startswith(pre)}
+            a, _, _ = layernorm_fwd(x, p["ln1.gamma"], p["ln1.beta"], cfg.ln_eps)
+            qkv = (a @ p["attn.wqkv"] + p["attn.bqkv"]).reshape(t, n, 3, d)
+            qh, kh, vh = qkv[:, :, 0], qkv[:, :, 1], qkv[:, :, 2]
+            scores = np.einsum("ind,jnd->nij", qh, kh) / math.sqrt(d)
+            scores = np.where(mask[None], scores, -np.inf)
+            probs = np.exp(scores - scores.max(axis=-1, keepdims=True))
+            probs = probs / probs.sum(axis=-1, keepdims=True)
+            ctx = np.einsum("nij,jnd->ind", probs, vh).reshape(t, n * d)
+            x = x + ctx @ p["attn.wo"] + p["attn.bo"]
+            m, _, _ = layernorm_fwd(x, p["ln2.gamma"], p["ln2.beta"], cfg.ln_eps)
+            x = x + gelu(m @ p["mlp.w1"] + p["mlp.b1"]) @ p["mlp.w2"] + p["mlp.b2"]
+        out, _, _ = layernorm_fwd(x, params["final_ln.gamma"], params["final_ln.beta"], cfg.ln_eps)
+        logits = out[-1] @ table.T
+        tokens.append(int(np.argmax(logits)))
+    return tokens[len(prompt) :]
+
+
+def _engine_tokens(scheme, requests, slots=8, blocks=16):
+    engine = make_engine(scheme, CFG, PARAMS, 2, slots, 8, blocks)
+    result = engine.run(requests)
+    return {
+        s.request.rid: list(s.generated)
+        for s in sorted(result.completed, key=lambda s: s.request.rid)
+    }
+
+
+_EQUIV_SPECS = [
+    (0.0, (5, 11, 23), 4),
+    (0.0, (40, 1), 3),
+    (0.0002, (7, 7, 7, 9, 13, 2, 30, 19, 44), 5),  # spans two KV blocks
+]
+
+
+class TestDecodeEquivalence:
+    REQS = _requests(_EQUIV_SPECS)
+
+    def test_optimus_matches_serial_reference(self):
+        got = _engine_tokens("optimus", self.REQS)
+        for r in self.REQS:
+            expect = _serial_greedy_decode(CFG, PARAMS, r.prompt, r.max_new)
+            assert got[r.rid] == expect, f"rid {r.rid}"
+
+    def test_megatron_matches_serial_reference(self):
+        got = _engine_tokens("megatron", self.REQS)
+        for r in self.REQS:
+            expect = _serial_greedy_decode(CFG, PARAMS, r.prompt, r.max_new)
+            assert got[r.rid] == expect, f"rid {r.rid}"
+
+    def test_batching_invariance(self):
+        """slots=2 (sequential-ish) and slots=8 (batched) sample the same
+        tokens — continuous batching must not change any request's output."""
+        a = _engine_tokens("optimus", self.REQS, slots=2, blocks=16)
+        b = _engine_tokens("optimus", self.REQS, slots=8, blocks=16)
+        assert a == b
+
+    def test_conservation_of_phase_attribution(self):
+        engine = make_engine("optimus", CFG, PARAMS, 2, 8, 8, 16)
+        result = engine.run(TrafficGenerator(0, CFG.vocab_size, num_requests=6).generate())
+        assert sum(result.attribution.values()) == pytest.approx(result.clock, rel=1e-9)
+        assert result.attribution["idle"] >= 0.0
+
+    def test_kv_pool_drained_after_run(self):
+        engine = make_engine("megatron", CFG, PARAMS, 2, 8, 8, 32)
+        engine.run(TrafficGenerator(1, CFG.vocab_size, num_requests=6).generate())
+        assert all(p.in_use == 0 for p in engine.cache.pools.values())
+        assert all(p.peak_in_use > 0 for p in engine.cache.pools.values())
+        for r in engine.sim.ranks:
+            meter = engine.sim.device(r).memory
+            assert meter.by_tag.get(KV_MEMORY_TAG, 0) == 0
+
+
+# ----------------------------------------------------------------------
+# report: determinism, A/B, SLO gate
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_quick_report_is_byte_deterministic(self):
+        a = run_serve(0, quick=True)
+        b = run_serve(0, quick=True)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_schemes_agree_on_tokens(self):
+        rep = run_serve(0, quick=True)
+        by_scheme = {e["scheme"]: e for e in rep["schemes"]}
+        assert by_scheme["optimus"]["tokens_sha256"] == by_scheme["megatron"]["tokens_sha256"]
+
+    def test_ab_bit_exact(self):
+        ab = run_ab(0, quick=True, requests=6)
+        assert ab["equal"] is True
+
+    def test_slo_gate_passes_self_and_fails_regression(self):
+        rep = run_serve(0, quick=True, requests=6)
+        ok, _ = compare_reports(rep, rep, threshold=0.20)
+        assert ok
+        doctored = json.loads(json.dumps(rep))
+        e = doctored["schemes"][0]
+        e["e2e_s"]["p99"] /= 2.0  # current looks 2× slower than baseline
+        ok, lines = compare_reports(rep, doctored, threshold=0.20)
+        assert not ok
+        assert any("p99" in line and "FAIL" in line for line in lines)
+        e["goodput_tokens_per_s"] *= 10.0  # current goodput looks collapsed
+        ok, lines = compare_reports(rep, doctored, threshold=0.20)
+        assert any("goodput" in line and "FAIL" in line for line in lines)
+
+    def test_missing_arm_fails_gate(self):
+        rep = run_serve(0, quick=True, requests=6)
+        partial = json.loads(json.dumps(rep))
+        partial["schemes"] = partial["schemes"][:1]
+        ok, lines = compare_reports(partial, rep, threshold=0.20)
+        assert not ok and any("missing" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# ledger + dash integration
+# ----------------------------------------------------------------------
+class TestLedgerServe:
+    def test_serve_kind_accepted_with_extras(self, tmp_path):
+        led = RunLedger(str(tmp_path / "ledger.jsonl"))
+        run_serve(0, quick=True, requests=6, ledger=led)
+        records = led.read()
+        assert {r.kind for r in records} == {"serve"}
+        assert {r.scheme for r in records} == {"optimus", "megatron"}
+        for r in records:
+            assert r.extra["num_requests"] == 6
+            assert r.extra["traffic_seed"] == 0
+            assert r.label.startswith("serve/")
+            assert r.counters["total_bytes_comm"] > 0
+
+    def test_scheme_of_uses_engine_attribute(self):
+        from repro.obs.ledger import _scheme_of
+
+        engine = make_engine("optimus", CFG, PARAMS, 2, 8, 8, 16)
+        assert _scheme_of(engine) == "optimus"
+        assert _scheme_of(engine.model) == "optimus"  # class-name path intact
+
+    def test_compact_keeps_newest_per_traffic(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        led = RunLedger(path)
+        run_serve(0, quick=True, requests=6, ledger=led)  # 2 arms
+        run_serve(1, quick=True, requests=6, ledger=led)  # different seed: kept
+        run_serve(0, quick=True, requests=6, ledger=led)  # same-key rerun: wins
+        assert len(led.read()) == 6
+        summary = compact(led)
+        survivors = led.read()
+        assert summary["dropped"] == 2  # only the seed-0 duplicates collapse
+        assert len(survivors) == 4
+        seeds = sorted(r.seed for r in survivors)
+        assert seeds == [0, 0, 1, 1]
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown run kind"):
+            RunRecord(kind="deploy")
+
+    def test_dash_serving_section(self, tmp_path):
+        from repro.obs.claims import scorecard
+        from repro.obs.dash import render_html, serving_rows
+
+        led = RunLedger(str(tmp_path / "ledger.jsonl"))
+        run_serve(0, quick=True, requests=6, ledger=led)
+        records = led.read()
+        rows = serving_rows(records)
+        arms = {(r["scheme"], r["arrival"]) for r in rows}
+        assert arms == {("optimus", "poisson"), ("megatron", "poisson")}
+        html_text = render_html(records, scorecard(records), [])
+        assert "<h2>Serving</h2>" in html_text
+        assert "tok/s" in html_text
+        assert "<script" not in html_text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_serve_writes_report_and_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out1 = str(tmp_path / "a.json")
+        out2 = str(tmp_path / "b.json")
+        argv = ["serve", "--quick", "--seed", "0", "--requests", "6", "--out"]
+        assert main(argv + [out1]) == 0
+        assert main(argv + [out2]) == 0
+        with open(out1) as f1, open(out2) as f2:
+            assert f1.read() == f2.read()  # byte-identical across invocations
+
+        # gate against self passes; doctored baseline fails
+        assert main(argv + [out1, "--compare", out2]) == 0
+        with open(out2) as f:
+            doc = json.load(f)
+        for e in doc["schemes"]:
+            e["e2e_s"]["p99"] /= 10.0
+            e["goodput_tokens_per_s"] *= 10.0
+        with open(out2, "w") as f:
+            json.dump(doc, f)
+        assert main(argv + [out1, "--compare", out2]) == 1
+        capsys.readouterr()
+
+    def test_serve_ab_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "ab.json")
+        rc = main(["serve", "--quick", "--seed", "0", "--requests", "4", "--ab", "--out", out])
+        assert rc == 0
+        with open(out) as f:
+            assert json.load(f)["equal"] is True
+        assert "byte-identical" in capsys.readouterr().out
