@@ -260,6 +260,11 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="short campaign (CI smoke job)"
     )
     chaos.add_argument(
+        "--serve", action="store_true",
+        help="serving campaign instead of training: crash/flaky-link/straggler "
+        "faults inside the decode loop, recovery must be token-identical",
+    )
+    chaos.add_argument(
         "--steps", type=int, default=None, help="training steps per run (>= 5)"
     )
     chaos.add_argument(
@@ -369,6 +374,37 @@ def main(argv=None) -> int:
         "--ab", action="store_true",
         help="run batched-mesh vs per-rank arms and demand byte equality",
     )
+    srv.add_argument(
+        "--policy", default=None, choices=("reserve", "preempt"),
+        help="admission policy: conservative whole-footprint reservation "
+        "(default) or prompt-footprint admission with preemption",
+    )
+    srv.add_argument(
+        "--swap-blocks", type=int, default=None, metavar="N",
+        help="host swap capacity in KV blocks for preempted sequences "
+        "(0 = recompute fallback only)",
+    )
+    srv.add_argument(
+        "--swap-bw", type=float, default=None, metavar="GBPS",
+        help="host swap link bandwidth per rank (GB/s, default 16)",
+    )
+    srv.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="e2e deadline applied to every request (simulated seconds)",
+    )
+    srv.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="idempotent retry budget per request after a deadline timeout",
+    )
+    srv.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="overload backpressure: shed arrivals beyond this waiting-room depth",
+    )
+    srv.add_argument(
+        "--preempt-ab", action="store_true",
+        help="run reserve vs preempt(swap) vs preempt(recompute) arms on an "
+        "overload profile and gate on preemption winning",
+    )
 
     chk = sub.add_parser(
         "check",
@@ -420,6 +456,17 @@ def main(argv=None) -> int:
             ledger=args.ledger,
         )
     if args.command == "chaos":
+        if args.serve:
+            from repro.serving.chaos import SERVE_SCHEMES
+            from repro.serving.chaos import main as serve_chaos_main
+
+            return serve_chaos_main(
+                seed=args.seed,
+                quick=args.quick,
+                schemes=args.schemes or SERVE_SCHEMES,
+                out=args.out,
+                ledger_dir=args.ledger,
+            )
         from repro.resilience.chaos import main as chaos_main
 
         return chaos_main(

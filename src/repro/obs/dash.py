@@ -115,6 +115,13 @@ def _collect_serve(ledger: RunLedger, printer) -> None:
     run_serve(0, quick=True, ledger=ledger)
 
 
+def _collect_serve_chaos(ledger: RunLedger, printer) -> None:
+    from repro.serving.chaos import run_serve_chaos
+
+    printer("collecting evidence: quick serving chaos campaign (optimus)")
+    run_serve_chaos(0, quick=True, schemes=("optimus",), ledger=ledger)
+
+
 def collect(ledger: RunLedger, printer=print) -> None:
     """Fill evidence gaps so the dashboard has every section populated."""
     from repro.obs.claims import ensure_claim_records
@@ -133,6 +140,8 @@ def collect(ledger: RunLedger, printer=print) -> None:
         _collect_chaos(ledger, printer)
     if not kinds.get("serve"):
         _collect_serve(ledger, printer)
+    if not kinds.get("serve-chaos"):
+        _collect_serve_chaos(ledger, printer)
     ensure_claim_records(ledger, printer=printer)
 
 
@@ -244,6 +253,34 @@ def serving_rows(records: Sequence[RunRecord]) -> List[dict]:
             "goodput": e.get("goodput_tokens_per_s"),
             "slo_attainment": e.get("slo_attainment"),
             "p99_e2e_s": e.get("p99_e2e_s"),
+            "clock": r.clock,
+        })
+    return rows
+
+
+def serve_chaos_rows(records: Sequence[RunRecord]) -> List[dict]:
+    """Newest serve-chaos record per scheme, in scheme order."""
+    newest: dict = {}
+    for r in records:
+        if r.kind != "serve-chaos":
+            continue
+        newest[r.scheme or "?"] = r
+    rows = []
+    for scheme, r in sorted(newest.items()):
+        e = r.extra or {}
+        rows.append({
+            "record": _record_label(r),
+            "run_id": r.run_id,
+            "scheme": scheme,
+            "arrival": e.get("arrival"),
+            "requests": e.get("num_requests"),
+            "token_identical": e.get("token_identical"),
+            "crashes": e.get("crashes"),
+            "retries": e.get("retries"),
+            "recovered_steps": e.get("recovered_steps"),
+            "recovery_s": e.get("recovery_s"),
+            "goodput": e.get("goodput_tokens_per_s"),
+            "ok": e.get("ok"),
             "clock": r.clock,
         })
     return rows
@@ -556,6 +593,51 @@ def _serving_section(rows: List[dict]) -> str:
     )
 
 
+def _serve_chaos_section(rows: List[dict]) -> str:
+    if not rows:
+        body = ("<p class='muted'>no serve-chaos records yet (run "
+                "<code>repro chaos --serve --quick --ledger …</code> to replay "
+                "seeded traffic through a fault-injected decode loop)</p>")
+        return f"<section><h2>Serving under chaos</h2>{body}</section>"
+
+    def num(v, spec=".4g"):
+        return "—" if v is None else format(v, spec)
+
+    def count(v):
+        return "—" if v is None else format(v, "d")
+
+    trs = []
+    for row in rows:
+        rec_s = row["recovery_s"]
+        ident = row["token_identical"]
+        trs.append(
+            f"<tr><td>{html.escape(row['scheme'])}</td>"
+            f"<td>{html.escape(row['arrival'] or '—')}</td>"
+            f"<td>{count(row['requests'])}</td>"
+            f"<td>{_status_cell('pass' if ident else 'fail')}</td>"
+            f"<td>{count(row['crashes'])}</td>"
+            f"<td>{count(row['retries'])}</td>"
+            f"<td>{count(row['recovered_steps'])}</td>"
+            f"<td>{'—' if rec_s is None else f'{rec_s * 1e3:.3f} ms'}</td>"
+            f"<td>{num(row['goodput'], '.1f')}</td>"
+            f"<td>{_status_cell('pass' if row['ok'] else 'fail')}</td>"
+            f"<td><code>{row['run_id']}</code></td></tr>"
+        )
+    return (
+        "<section><h2>Serving under chaos</h2>"
+        "<p class='muted'>fault-injected decode (<code>repro chaos --serve"
+        "</code>): rank crashes, flaky links and stragglers recovered by "
+        "step re-execution; token-identical means the chaos arm produced "
+        "byte-for-byte the same tokens as a fault-free run of the same "
+        "seed</p>"
+        "<table><tr><th>scheme</th><th>arrival</th><th>requests</th>"
+        "<th>token-identical</th><th>crashes</th><th>retries</th>"
+        "<th>recovered steps</th><th>recovery time</th>"
+        "<th>goodput (tok/s)</th><th>verdict</th><th>run_id</th></tr>"
+        + "".join(trs) + "</table></section>"
+    )
+
+
 def _regressions_section(rows: List[dict]) -> str:
     if not rows:
         body = ("<p class='muted'>no baseline comparison in the newest bench "
@@ -621,6 +703,7 @@ def render_html(records: Sequence[RunRecord], card: dict,
         + _claims_section(card)
         + _attribution_section(attribution_rows(records))
         + _serving_section(serving_rows(records))
+        + _serve_chaos_section(serve_chaos_rows(records))
         + _trends_section(trend_series(records), sparkline_series(records))
         + _regressions_section(regressions)
         + _runs_section(records)

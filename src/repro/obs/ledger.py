@@ -40,7 +40,7 @@ LEDGER_SCHEMA = "repro-ledger-v1"
 DEFAULT_LEDGER_DIR = os.path.join("benchmarks", "ledger")
 DEFAULT_LEDGER_FILE = "ledger.jsonl"
 
-RUN_KINDS = ("train", "bench", "chaos", "experiment", "serve")
+RUN_KINDS = ("train", "bench", "chaos", "experiment", "serve", "serve-chaos")
 
 
 def canonical_json(doc) -> str:
@@ -304,7 +304,7 @@ def _compact_key(record: RunRecord) -> tuple:
         mesh.get("q"),
         mesh.get("arrangement"),
     )
-    if record.kind == "serve":
+    if record.kind in ("serve", "serve-chaos"):
         # serve runs of the same config/revision legitimately differ by
         # traffic: keep the newest per (seed, traffic shape), not one overall
         extra = record.extra or {}

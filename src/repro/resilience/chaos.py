@@ -223,6 +223,9 @@ def run_campaign(
         raise ValueError("chaos campaigns need at least 5 steps")
     checkpoint_every = 2 if quick else 3
     schemes = tuple(schemes) if schemes else SCHEMES
+    for s in schemes:
+        if s not in SCHEMES:
+            raise ValueError(f"unknown chaos scheme {s!r} (choose from {SCHEMES})")
     results = []
     ckpt_dir = tempfile.mkdtemp(prefix="repro-chaos-")
     try:
@@ -302,10 +305,14 @@ def main(
         from repro.obs.ledger import RunLedger
 
         ledger = RunLedger(ledger)
-    report = run_campaign(
-        seed=seed, quick=quick, steps=steps, schemes=schemes, trace_out=trace_out,
-        ledger=ledger,
-    )
+    try:
+        report = run_campaign(
+            seed=seed, quick=quick, steps=steps, schemes=schemes,
+            trace_out=trace_out, ledger=ledger,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     print(render(report))
     if out:
         with open(out, "w") as f:

@@ -2,8 +2,12 @@
 
 Continuous batching + block-partitioned sharded KV-cache + seeded
 synthetic traffic, reported as byte-deterministic ``repro-serve-v1`` JSON.
+The robustness layer (all off by default) adds fault-injected decode with
+token-identical recovery, preemption with KV swap-out/recompute, and a
+deadline/retry/backpressure request lifecycle.
 """
 
+from repro.serving.chaos import SERVE_SCHEMES, run_serve_chaos
 from repro.serving.engine import (
     MegatronServingEngine,
     OptimusServingEngine,
@@ -11,35 +15,57 @@ from repro.serving.engine import (
     ServingResult,
     make_engine,
 )
-from repro.serving.kvcache import KV_MEMORY_TAG, KVBlockPool, KVShardGroup, ShardedKVCache
+from repro.serving.kvcache import (
+    KV_MEMORY_TAG,
+    KV_SWAP_TAG,
+    HostSwapSpace,
+    KVBlockPool,
+    KVShardGroup,
+    ShardedKVCache,
+    SwapTicket,
+)
 from repro.serving.report import (
     REPORT_SCHEMA,
     compare_reports,
     percentile,
     run_ab,
+    run_preempt_ab,
     run_serve,
 )
-from repro.serving.scheduler import ContinuousBatchingScheduler, SlotState
+from repro.serving.scheduler import (
+    POLICIES,
+    ContinuousBatchingScheduler,
+    ServingOptions,
+    SlotState,
+)
 from repro.serving.traffic import ARRIVAL_PROFILES, Request, TrafficGenerator
 
 __all__ = [
     "ARRIVAL_PROFILES",
     "ContinuousBatchingScheduler",
+    "HostSwapSpace",
     "KV_MEMORY_TAG",
+    "KV_SWAP_TAG",
     "KVBlockPool",
     "KVShardGroup",
     "MegatronServingEngine",
     "OptimusServingEngine",
+    "POLICIES",
     "REPORT_SCHEMA",
     "Request",
+    "SERVE_SCHEMES",
     "ServingEngine",
+    "ServingOptions",
     "ServingResult",
     "ShardedKVCache",
     "SlotState",
+    "SwapTicket",
     "TrafficGenerator",
     "compare_reports",
     "make_engine",
     "percentile",
     "run_ab",
+    "run_preempt_ab",
     "run_serve",
+    "run_serve_chaos",
 ]

@@ -29,7 +29,7 @@ vocabulary index, matching a serial ``argmax``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,9 +43,15 @@ from repro.mesh.layouts import BLOCKED_2D, SHARDED_1D
 from repro.mesh.mesh import Mesh
 from repro.mesh.partition import distribute_replicated_1d, distribute_row_blocked
 from repro.reference.attention import decode_attention_fwd
+from repro.resilience.faults import CollectiveTimeoutError, RankCrashError
+from repro.resilience.injector import FaultInjector
 from repro.runtime.simulator import Simulator
-from repro.serving.kvcache import KVShardGroup, ShardedKVCache
-from repro.serving.scheduler import ContinuousBatchingScheduler, SlotState
+from repro.serving.kvcache import HostSwapSpace, KVShardGroup, ShardedKVCache
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    ServingOptions,
+    SlotState,
+)
 from repro.serving.traffic import Request
 
 
@@ -68,10 +74,12 @@ class ServingResult:
     padded_lane_steps: int  # padding lanes computed to keep SUMMA shapes
     prompt_tokens: int
     generated_tokens: int
-    attribution: Dict[str, float]  # prefill / decode / padding / idle seconds
+    attribution: Dict[str, float]  # prefill/decode/padding/idle (+swap/recovery)
     scheduler_stats: dict
     cache_stats: dict
     clock: float
+    #: lifecycle counters + shed/timeout rids; None on the default PR 8 path
+    lifecycle: Optional[dict] = None
 
 
 class ServingEngine:
@@ -79,12 +87,32 @@ class ServingEngine:
 
     scheme = "base"
 
-    def __init__(self, sim: Simulator, cfg: ModelConfig):
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ModelConfig,
+        options: Optional[ServingOptions] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
         self.sim = sim
         self.cfg = cfg
+        self.options = options if options is not None else ServingOptions()
+        self.injector = injector
         self.cache: ShardedKVCache
         self.scheduler: ContinuousBatchingScheduler
+        self.swap: Optional[HostSwapSpace] = None
         self.all_ranks: Sequence[int] = []
+
+    def _make_scheduler(self) -> ContinuousBatchingScheduler:
+        """Build the swap tier (if configured) and the scheduler; called by
+        subclasses once ``self.cache`` exists."""
+        if self.options.policy == "preempt" and self.options.swap_blocks > 0:
+            self.swap = HostSwapSpace(
+                capacity_blocks=self.options.swap_blocks,
+                rank_block_bytes=self.cache.bytes_per_rank_block(),
+                gbps=self.options.swap_gbps,
+            )
+        return ContinuousBatchingScheduler(self.cache, self.options, self.swap)
 
     # -- subclass surface ----------------------------------------------
     def step(self, entries: List[LaneInput]) -> Dict[int, int]:
@@ -96,34 +124,80 @@ class ServingEngine:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Roll back a failed decode step so it can be re-executed.
+
+        Nothing committed: ``cache.commit`` only runs after a successful
+        step, so partial K/V writes are positionally overwritten with
+        identical values on re-execution.  Forward scratch is dropped, all
+        ranks re-sync, and the cluster pays the restart charge."""
+        self.model.drop_caches()
+        self.model.buffers.reset_region("forward")
+        self.sim.sync(self.all_ranks)
+        self.sim.advance(self.all_ranks, self.options.restart_cost_s)
+
     def run(self, requests: List[Request]) -> ServingResult:
         sched = self.scheduler
+        opts = self.options
+        inj = self.injector
+        if inj is not None:
+            inj.install(self.sim)
         sched.load(requests)
         attribution = {"prefill": 0.0, "decode": 0.0, "padding": 0.0, "idle": 0.0}
+        # attribution keys are conditional so default-path reports stay
+        # byte-identical to PR 8
+        if opts.policy == "preempt":
+            attribution["swap"] = 0.0
+        if inj is not None:
+            attribution["recovery"] = 0.0
         steps = lane_steps = padded_lane_steps = 0
         prompt_tokens = generated_tokens = 0
+        step_no = 0
 
         while sched.incomplete():
             now = self.sim.elapsed()
+            sched.intake(now)
+            sched.expire(now)
+            sched.resume(now)
             sched.admit(now)
+            if sched.active:
+                sched.prepare_step(now)
+            t0 = self.sim.elapsed()
+            if "swap" in attribution:
+                # only swap transfers move the clock inside the scheduler
+                attribution["swap"] += t0 - now
             if not sched.active:
+                if not sched.incomplete():
+                    break  # everything left was shed or expired
                 # nothing runnable: idle-advance every device to the next
                 # arrival (the simulated cluster sits empty, clock still runs)
                 target = sched.next_arrival()
                 for r in self.all_ranks:
                     dev = self.sim.device(r)
                     dev.clock = max(dev.clock, target)
-                attribution["idle"] += max(0.0, target - now)
+                attribution["idle"] += max(0.0, target - t0)
                 continue
 
             entries = [
                 LaneInput(slot=slot, token=state.next_input(), pos=state.fed)
                 for slot, state in sorted(sched.active.items())
             ]
-            prefill_lanes = sum(1 for e in entries if sched.active[e.slot].in_prefill)
-            sampled = self.step(entries)
+            prefill_lanes = sum(1 for e in entries if sched.active[e.slot].prefill_lane)
+            if inj is not None:
+                try:
+                    inj.begin_step(step_no)
+                    sampled = self.step(entries)
+                except (RankCrashError, CollectiveTimeoutError):
+                    # fired faults are consumed: re-executing the same
+                    # step_no runs clean and produces identical tokens
+                    self._recover()
+                    attribution["recovery"] += self.sim.elapsed() - t0
+                    sched.lifecycle["recovered_steps"] += 1
+                    continue
+            else:
+                sampled = self.step(entries)
             t1 = self.sim.elapsed()
-            dt = t1 - now
+            dt = t1 - t0
 
             total_lanes = self.lanes_in_step(entries)
             decode_lanes = len(entries) - prefill_lanes
@@ -132,16 +206,22 @@ class ServingEngine:
             attribution["decode"] += dt * decode_lanes / total_lanes
             attribution["padding"] += dt * pad_lanes / total_lanes
             steps += 1
+            step_no += 1
             lane_steps += len(entries)
             padded_lane_steps += pad_lanes
 
             for e in entries:
                 state = sched.active[e.slot]
                 self.cache.commit(e.slot)
-                if state.in_prefill:
+                if state.fed < state.replay_until:
+                    sched.lifecycle["recomputed_tokens"] += 1
+                elif state.in_prefill:
                     prompt_tokens += 1
                 state.fed += 1
-                if not state.in_prefill:  # prompt fully consumed: sample counts
+                # the sample is new progress exactly when every known token
+                # (prompt + previously generated) has been fed; in the PR 8
+                # flow this is the post-increment "not in_prefill" condition
+                if state.fed >= state.request.prompt_len + len(state.generated):
                     state.generated.append(sampled[e.slot])
                     generated_tokens += 1
                     if state.first_token_time is None:
@@ -149,6 +229,16 @@ class ServingEngine:
                     if state.done:
                         sched.finish(e.slot, t1)
 
+        lifecycle = None
+        if opts.enabled or inj is not None or sched._has_deadlines:
+            lifecycle = dict(sched.lifecycle)
+            lifecycle["shed_rids"] = sorted(sched.shed_rids)
+            lifecycle["timeout_rids"] = sorted(sched.timeout_rids)
+            if inj is not None:
+                lifecycle["injector"] = dict(inj.stats)
+        cache_stats = self.cache.stats()
+        if self.swap is not None:
+            cache_stats["host_swap"] = self.swap.stats()
         return ServingResult(
             completed=list(sched.completed),
             steps=steps,
@@ -158,8 +248,9 @@ class ServingEngine:
             generated_tokens=generated_tokens,
             attribution=attribution,
             scheduler_stats=dict(sched.stats),
-            cache_stats=self.cache.stats(),
+            cache_stats=cache_stats,
             clock=self.sim.elapsed(),
+            lifecycle=lifecycle,
         )
 
     # ------------------------------------------------------------------
@@ -202,8 +293,10 @@ class OptimusServingEngine(ServingEngine):
         num_slots: int,
         block_size: int,
         blocks_per_group: int,
+        options: Optional[ServingOptions] = None,
+        injector: Optional[FaultInjector] = None,
     ):
-        super().__init__(sim, cfg)
+        super().__init__(sim, cfg, options=options, injector=injector)
         if num_slots % q:
             raise ValueError(f"num_slots {num_slots} not divisible by mesh q={q}")
         cfg.validate_for_optimus(q, num_slots)
@@ -230,7 +323,7 @@ class OptimusServingEngine(ServingEngine):
             blocks_per_group=blocks_per_group,
             dtype="float64",
         )
-        self.scheduler = ContinuousBatchingScheduler(self.cache)
+        self.scheduler = self._make_scheduler()
         self.all_ranks = list(self.mesh.ranks)
 
     # ------------------------------------------------------------------
@@ -340,8 +433,10 @@ class MegatronServingEngine(ServingEngine):
         num_slots: int,
         block_size: int,
         blocks_per_group: int,
+        options: Optional[ServingOptions] = None,
+        injector: Optional[FaultInjector] = None,
     ):
-        super().__init__(sim, cfg)
+        super().__init__(sim, cfg, options=options, injector=injector)
         p = sim.num_ranks
         cfg.validate_for_megatron(p, num_slots)
         self.model = MegatronModel(sim, cfg, params_global, checkpoint_activations=False)
@@ -359,7 +454,7 @@ class MegatronServingEngine(ServingEngine):
             blocks_per_group=blocks_per_group,
             dtype="float64",
         )
-        self.scheduler = ContinuousBatchingScheduler(self.cache)
+        self.scheduler = self._make_scheduler()
         self.all_ranks = list(self.group.ranks)
 
     def lanes_in_step(self, entries: List[LaneInput]) -> int:
@@ -431,6 +526,8 @@ def make_engine(
     num_slots: int,
     block_size: int,
     blocks_per_group: int,
+    options: Optional[ServingOptions] = None,
+    injector: Optional[FaultInjector] = None,
 ) -> ServingEngine:
     """Build a fresh simulator + engine for one serving arm.
 
@@ -439,11 +536,13 @@ def make_engine(
     if scheme == "optimus":
         sim = Simulator.for_mesh(q)
         return OptimusServingEngine(
-            sim, cfg, params_global, q, num_slots, block_size, blocks_per_group
+            sim, cfg, params_global, q, num_slots, block_size, blocks_per_group,
+            options=options, injector=injector,
         )
     if scheme == "megatron":
         sim = Simulator.for_flat(q * q)
         return MegatronServingEngine(
-            sim, cfg, params_global, num_slots, block_size, blocks_per_group
+            sim, cfg, params_global, num_slots, block_size, blocks_per_group,
+            options=options, injector=injector,
         )
     raise ValueError(f"unknown serving scheme {scheme!r}")

@@ -12,12 +12,17 @@ Layout mirrors how the two schemes partition attention:
 
 Storage is paged: each slot owns a table of fixed-size *blocks*
 (``block_size`` token positions), drawn from a per-group
-:class:`KVBlockPool` with a hard capacity.  Blocks are reserved up-front at
-admission (conservative reservation — no mid-flight OOM, no preemption) and
-freed when the sequence is evicted.  Backing arrays come from the shared
-:class:`~repro.core.buffers.ArrayPool` free-list, and every block
-allocation/free is charged to the owning simulated devices' memory meters
-under the ``"kvcache"`` tag, so serving peaks show up in ledger watermarks.
+:class:`KVBlockPool` with a hard capacity.  Under the default conservative
+policy blocks are reserved up-front at admission (no mid-flight OOM, no
+preemption) and freed when the sequence is evicted; the preemptive policy
+instead reserves only the known prefix and grows on demand
+(:meth:`ShardedKVCache.ensure_capacity`), spilling preempted victims to a
+:class:`HostSwapSpace` — a host-memory tier metered under its own
+``"kvswap"`` tag with transfer time priced on the simulated clock.  Backing
+arrays come from the shared :class:`~repro.core.buffers.ArrayPool`
+free-list, and every block allocation/free is charged to the owning
+simulated devices' memory meters under the ``"kvcache"`` tag, so serving
+peaks show up in ledger watermarks.
 """
 
 from __future__ import annotations
@@ -29,8 +34,80 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.buffers import ArrayPool
+from repro.runtime.memory import MemoryMeter
 
 KV_MEMORY_TAG = "kvcache"
+KV_SWAP_TAG = "kvswap"
+
+#: pseudo-rank for the host swap tier's meter (not a simulated device)
+HOST_RANK = -1
+
+
+class HostSwapSpace:
+    """A host-memory tier for swapped-out KV blocks.
+
+    Capacity is expressed in *blocks per shard group* (the same unit the
+    device pools use); bytes are charged to a dedicated
+    :class:`~repro.runtime.memory.MemoryMeter` under the ``"kvswap"`` tag so
+    host-side pressure is auditable separately from device watermarks.
+    Transfers are priced on the simulated clock at ``gbps`` per rank — a
+    swap moves each rank's shard over its own host link concurrently.
+    """
+
+    def __init__(self, capacity_blocks: int, rank_block_bytes: int, gbps: float = 16.0):
+        if capacity_blocks < 0:
+            raise ValueError(f"capacity_blocks must be >= 0, got {capacity_blocks}")
+        if gbps <= 0:
+            raise ValueError(f"swap bandwidth must be positive, got {gbps} GB/s")
+        self.capacity_blocks = capacity_blocks
+        self.rank_block_bytes = rank_block_bytes
+        self.bytes_per_s = gbps * 1e9
+        self.meter = MemoryMeter(rank=HOST_RANK)
+        self.blocks_held = 0
+        self.peak_blocks = 0
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+
+    def can_hold(self, num_blocks: int) -> bool:
+        return self.blocks_held + num_blocks <= self.capacity_blocks
+
+    def transfer_s(self, num_blocks: int) -> float:
+        """Simulated seconds to move ``num_blocks`` of one rank's shards."""
+        return num_blocks * self.rank_block_bytes / self.bytes_per_s
+
+    def stats(self) -> dict:
+        return {
+            "capacity_blocks": self.capacity_blocks,
+            "peak_blocks": self.peak_blocks,
+            "peak_bytes": self.meter.peak,
+            "swap_out_count": self.swap_out_count,
+            "swap_in_count": self.swap_in_count,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+        }
+
+
+@dataclass
+class SwapTicket:
+    """A swapped-out sequence: its K/V arrays parked in host memory.
+
+    The array objects themselves move (no copy), so a swap-out/swap-in
+    round trip is bit-exact by construction.  Tickets are bound to the
+    shard group they came from — per-rank shards only make sense on the
+    ranks that produced them.
+    """
+
+    slot: int
+    gid: int
+    stores: List[Dict[Tuple[int, int], Tuple]]  # one per block, in table order
+    length: int  # committed token count at swap-out
+    num_ranks: int
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.stores)
 
 
 class KVBlockPool:
@@ -128,6 +205,10 @@ class ShardedKVCache:
     def blocks_needed(self, kv_positions: int) -> int:
         return -(-max(kv_positions, 1) // self.block_size)
 
+    def blocks_of(self, slot: int) -> int:
+        """Blocks currently held by a resident slot."""
+        return len(self._tables[slot])
+
     def can_reserve(self, slot: int, kv_positions: int) -> bool:
         g = self.group_of(slot)
         return self.pools[g.gid].free >= self.blocks_needed(kv_positions)
@@ -143,13 +224,8 @@ class ShardedKVCache:
         return self.pools[any_gid].capacity * self.bytes_per_rank_block()
 
     # ------------------------------------------------------------------
-    def reserve(self, slot: int, kv_positions: int) -> None:
-        """Allocate (and charge) every block the sequence will ever need."""
-        if slot in self._tables:
-            raise RuntimeError(f"slot {slot} already reserved")
-        g = self.group_of(slot)
-        need = self.blocks_needed(kv_positions)
-        block_ids = self.pools[g.gid].allocate(need)
+    def _charge_blocks(self, g: KVShardGroup, block_ids: Sequence[int]) -> None:
+        """Back freshly allocated block ids with arrays and device bytes."""
         nbytes = self.bytes_per_rank_block()
         shape = (self.heads_loc, self.block_size, self.head_dim)
         for b in block_ids:
@@ -162,8 +238,38 @@ class ShardedKVCache:
                         self.pool.acquire(shape, self.dtype),
                     )
             self._storage[(g.gid, b)] = store
+
+    def reserve(self, slot: int, kv_positions: int) -> None:
+        """Allocate (and charge) every block for ``kv_positions`` tokens.
+
+        Under conservative reservation this is the sequence's whole
+        footprint; the preemptive policy reserves just the known prefix and
+        grows via :meth:`ensure_capacity`.
+        """
+        if slot in self._tables:
+            raise RuntimeError(f"slot {slot} already reserved")
+        g = self.group_of(slot)
+        need = self.blocks_needed(kv_positions)
+        block_ids = self.pools[g.gid].allocate(need)
+        self._charge_blocks(g, block_ids)
         self._tables[slot] = block_ids
         self._lengths[slot] = 0
+
+    def ensure_capacity(self, slot: int, kv_positions: int) -> bool:
+        """Grow a slot's table to cover ``kv_positions``; False if the pool
+        can't supply the extra blocks (caller decides whether to preempt)."""
+        table = self._tables[slot]
+        need = self.blocks_needed(kv_positions)
+        if need <= len(table):
+            return True
+        g = self.group_of(slot)
+        grow = need - len(table)
+        if self.pools[g.gid].free < grow:
+            return False
+        block_ids = self.pools[g.gid].allocate(grow)
+        self._charge_blocks(g, block_ids)
+        table.extend(block_ids)
+        return True
 
     def free(self, slot: int) -> None:
         """Evict a sequence: release its blocks and uncharge device memory."""
@@ -179,6 +285,96 @@ class ShardedKVCache:
             for rank in g.ranks:
                 self.sim.device(rank).memory.free(nbytes, tag=KV_MEMORY_TAG)
         self.pools[g.gid].release(block_ids)
+
+    # ------------------------------------------------------------------
+    def swap_out(self, slot: int, swap: HostSwapSpace) -> SwapTicket:
+        """Spill a slot's K/V blocks to the host tier.
+
+        The backing arrays move into the returned ticket untouched (no
+        copy, bit-exact), device meters and pool ids are released, host
+        bytes are charged, and the group's ranks pay the transfer time on
+        the simulated clock.
+        """
+        g = self.group_of(slot)
+        block_ids = self._tables.pop(slot)
+        length = self._lengths.pop(slot)
+        if not swap.can_hold(len(block_ids)):
+            # put state back before failing: callers probe with can_hold
+            self._tables[slot] = block_ids
+            self._lengths[slot] = length
+            raise RuntimeError(
+                f"host swap space full: need {len(block_ids)} blocks, "
+                f"holding {swap.blocks_held} of {swap.capacity_blocks}"
+            )
+        nbytes = self.bytes_per_rank_block()
+        stores = []
+        for b in block_ids:
+            stores.append(self._storage.pop((g.gid, b)))
+            for rank in g.ranks:
+                self.sim.device(rank).memory.free(nbytes, tag=KV_MEMORY_TAG)
+        self.pools[g.gid].release(block_ids)
+        host_bytes = len(block_ids) * nbytes * len(g.ranks)
+        swap.meter.alloc(host_bytes, tag=KV_SWAP_TAG)
+        swap.blocks_held += len(block_ids)
+        swap.peak_blocks = max(swap.peak_blocks, swap.blocks_held)
+        swap.swap_out_count += 1
+        swap.bytes_out += host_bytes
+        dt = swap.transfer_s(len(block_ids))
+        self.sim.sync(g.ranks)
+        self.sim.advance(g.ranks, dt)
+        return SwapTicket(
+            slot=slot, gid=g.gid, stores=stores, length=length, num_ranks=len(g.ranks)
+        )
+
+    def can_swap_in(self, slot: int, ticket: SwapTicket) -> bool:
+        g = self.group_of(slot)
+        return g.gid == ticket.gid and self.pools[g.gid].free >= ticket.num_blocks
+
+    def swap_in(self, slot: int, ticket: SwapTicket, swap: HostSwapSpace) -> None:
+        """Restore a swapped-out sequence into ``slot`` (same shard group).
+
+        Reverses :meth:`swap_out`: fresh block ids, the ticket's arrays
+        re-attached verbatim, device bytes re-charged, host bytes freed,
+        transfer time paid again.
+        """
+        if slot in self._tables:
+            raise RuntimeError(f"slot {slot} already reserved")
+        g = self.group_of(slot)
+        if g.gid != ticket.gid:
+            raise RuntimeError(
+                f"swap-in group mismatch: ticket from group {ticket.gid}, "
+                f"slot {slot} lives in group {g.gid} (per-rank shards are "
+                "only valid on the ranks that produced them)"
+            )
+        block_ids = self.pools[g.gid].allocate(ticket.num_blocks)
+        nbytes = self.bytes_per_rank_block()
+        for b, store in zip(block_ids, ticket.stores):
+            self._storage[(g.gid, b)] = store
+            for rank in g.ranks:
+                self.sim.device(rank).memory.alloc(nbytes, tag=KV_MEMORY_TAG)
+        self._tables[slot] = block_ids
+        self._lengths[slot] = ticket.length
+        host_bytes = ticket.num_blocks * nbytes * len(g.ranks)
+        swap.meter.free(host_bytes, tag=KV_SWAP_TAG)
+        swap.blocks_held -= ticket.num_blocks
+        swap.swap_in_count += 1
+        swap.bytes_in += host_bytes
+        dt = swap.transfer_s(ticket.num_blocks)
+        self.sim.sync(g.ranks)
+        self.sim.advance(g.ranks, dt)
+
+    def discard_ticket(self, ticket: SwapTicket, swap: HostSwapSpace) -> None:
+        """Drop a swapped-out sequence without restoring it (deadline abort):
+        arrays go back to the free-list, host bytes are uncharged, no
+        transfer is paid (dropping is free)."""
+        for store in ticket.stores:
+            for (_layer, _rank), (k, v) in store.items():
+                self.pool.release(k)
+                self.pool.release(v)
+        host_bytes = ticket.num_blocks * self.bytes_per_rank_block() * ticket.num_ranks
+        swap.meter.free(host_bytes, tag=KV_SWAP_TAG)
+        swap.blocks_held -= ticket.num_blocks
+        ticket.stores.clear()
 
     # ------------------------------------------------------------------
     def write(self, slot: int, layer: int, rank: int, pos: int, k_vec, v_vec) -> None:

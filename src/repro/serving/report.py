@@ -27,7 +27,9 @@ from repro.config import ModelConfig, tiny_config
 from repro.core import summa
 from repro.nn.init import init_transformer_params
 from repro.obs.ledger import RunLedger, canonical_json, record_from_sim
+from repro.resilience.injector import FaultInjector
 from repro.serving.engine import ServingResult, make_engine
+from repro.serving.scheduler import ServingOptions
 from repro.serving.traffic import ARRIVAL_PROFILES, Request, TrafficGenerator
 
 REPORT_SCHEMA = "repro-serve-v1"
@@ -98,15 +100,21 @@ def run_arm(
     blocks: int,
     slo_ttft: float,
     slo_tpot: float,
+    options: Optional[ServingOptions] = None,
+    injector: Optional[FaultInjector] = None,
 ) -> Tuple[dict, object]:
     """Run one arm; returns (report entry, simulator) — sim for the ledger."""
     # equal per-device KV bytes across schemes: megatron shards heads q×
     # thinner (p = q² ranks), so its single pool gets q× the blocks.
     blocks_per_group = blocks if scheme == "optimus" else blocks * q
-    engine = make_engine(scheme, cfg, params, q, slots, block_size, blocks_per_group)
+    engine = make_engine(
+        scheme, cfg, params, q, slots, block_size, blocks_per_group,
+        options=options, injector=injector,
+    )
     result: ServingResult = engine.run(requests)
 
-    if len(result.completed) != len(requests):
+    lossy = (options is not None and options.enabled) or injector is not None
+    if not lossy and len(result.completed) != len(requests):
         raise RuntimeError(f"{scheme}: {len(result.completed)}/{len(requests)} requests completed")
     by_rid = sorted(result.completed, key=lambda s: s.request.rid)
     ttft = [s.first_token_time - s.request.arrival for s in by_rid]
@@ -123,13 +131,15 @@ def run_arm(
         "devices": engine.sim.num_ranks,
         "requests": len(requests),
         "completed": len(result.completed),
-        "ttft_s": summarize(ttft),
-        "e2e_s": summarize(e2e),
-        "tpot_s": summarize(tpot),
+        "ttft_s": summarize(ttft) if ttft else None,
+        "e2e_s": summarize(e2e) if e2e else None,
+        "tpot_s": summarize(tpot) if tpot else None,
         "makespan_s": makespan,
         "throughput_tokens_per_s": result.generated_tokens / makespan,
         "goodput_tokens_per_s": good_tokens / makespan,
-        "slo_attainment": sum(ok) / len(ok),
+        # denominator is the *offered* load: identical to the PR 8 value
+        # when everything completes, honest under shedding/timeouts
+        "slo_attainment": sum(ok) / len(requests),
         "prompt_tokens": result.prompt_tokens,
         "generated_tokens": result.generated_tokens,
         "steps": result.steps,
@@ -140,6 +150,8 @@ def run_arm(
         "kv_cache": result.cache_stats,
         "tokens_sha256": checksum,
     }
+    if result.lifecycle is not None:
+        entry["lifecycle"] = result.lifecycle
     return entry, engine.sim
 
 
@@ -160,6 +172,12 @@ def run_serve(
     blocks: Optional[int] = None,
     slo_ttft: Optional[float] = None,
     slo_tpot: Optional[float] = None,
+    policy: Optional[str] = None,
+    swap_blocks: Optional[int] = None,
+    swap_gbps: Optional[float] = None,
+    deadline: Optional[float] = None,
+    retries: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
     ledger: Optional[RunLedger] = None,
 ) -> dict:
     """Run every (scheme × arrival) arm and assemble the report document."""
@@ -183,6 +201,27 @@ def run_serve(
     for s in schemes:
         if s not in SCHEMES:
             raise ValueError(f"unknown scheme {s!r} (choose from {SCHEMES})")
+    if float(knobs["slo_ttft"]) <= 0:
+        raise ValueError(f"--slo-ttft: must be positive, got {knobs['slo_ttft']}")
+    if float(knobs["slo_tpot"]) <= 0:
+        raise ValueError(f"--slo-tpot: must be positive, got {knobs['slo_tpot']}")
+    # ServingOptions.__post_init__ validates the lifecycle knobs, naming
+    # the offending CLI flag (--policy/--swap-blocks/--swap-bw/--deadline/
+    # --retries/--max-queue-depth)
+    opt_kw = {}
+    if policy is not None:
+        opt_kw["policy"] = policy
+    if swap_blocks is not None:
+        opt_kw["swap_blocks"] = swap_blocks
+    if swap_gbps is not None:
+        opt_kw["swap_gbps"] = swap_gbps
+    if deadline is not None:
+        opt_kw["deadline_s"] = deadline
+    if retries is not None:
+        opt_kw["max_retries"] = retries
+    if max_queue_depth is not None:
+        opt_kw["max_queue_depth"] = max_queue_depth
+    options = ServingOptions(**opt_kw)
 
     cfg = tiny_config(num_heads=4)
     params = init_transformer_params(cfg, seed=PARAM_SEED)
@@ -212,6 +251,7 @@ def run_serve(
                 blocks=int(knobs["blocks"]),
                 slo_ttft=float(knobs["slo_ttft"]),
                 slo_tpot=float(knobs["slo_tpot"]),
+                options=options,
             )
             entry["arrival"] = arrival
             entries.append(entry)
@@ -239,18 +279,30 @@ def run_serve(
                 )
                 ledger.append(record)
 
+    serving_doc = {
+        "q": qq,
+        "slots": int(knobs["slots"]),
+        "block_size": int(knobs["block_size"]),
+        "blocks": int(knobs["blocks"]),
+        "rate_rps": float(knobs["rate_rps"]),
+    }
+    # lifecycle knobs appear only when switched on: default-path reports
+    # stay byte-identical to PR 8
+    if options.enabled:
+        serving_doc["lifecycle"] = {
+            "policy": options.policy,
+            "swap_blocks": options.swap_blocks,
+            "swap_gbps": options.swap_gbps,
+            "deadline_s": options.deadline_s,
+            "max_retries": options.max_retries,
+            "max_queue_depth": options.max_queue_depth,
+        }
     return {
         "report": REPORT_SCHEMA,
         "seed": seed,
         "quick": bool(quick),
         "model": {**asdict(cfg), "param_seed": PARAM_SEED},
-        "serving": {
-            "q": qq,
-            "slots": int(knobs["slots"]),
-            "block_size": int(knobs["block_size"]),
-            "blocks": int(knobs["blocks"]),
-            "rate_rps": float(knobs["rate_rps"]),
-        },
+        "serving": serving_doc,
         "slo": {"ttft_s": float(knobs["slo_ttft"]), "tpot_s": float(knobs["slo_tpot"])},
         "summa_flags": summa.effective_flags(),
         "traffic": traffic_docs,
@@ -284,6 +336,134 @@ def run_ab(seed: int = 0, quick: bool = True, **kw) -> dict:
         "per_rank": per_rank,
         "batched": batched,
     }
+
+
+# ----------------------------------------------------------------------
+# preemption A/B (--preempt-ab): reserve vs preempt under overload
+# ----------------------------------------------------------------------
+#: an overload profile conservative reservation cannot absorb: long bursts
+#: into a small pool, with a deadline that expires queued requests.  The
+#: numbers are part of the report contract (BENCH_pr9.json is committed).
+PREEMPT_AB_PROFILE = {
+    "arrival": "bursty",
+    "rate_rps": 4000.0,
+    "requests": 20,
+    "burst_size": 10,
+    "slots": 8,
+    "block_size": 8,
+    "blocks": 5,
+    "deadline_s": 0.01,
+    "slo_ttft": 0.01,
+    "slo_tpot": 0.002,
+}
+
+
+def run_preempt_ab(seed: int = 0, quick: bool = False, schemes: Sequence[str] = SCHEMES) -> dict:
+    """Same overload traffic through three scheduler configurations per
+    scheme — conservative ``reserve``, ``preempt`` with host swap, and
+    ``preempt`` with the recompute fallback — and gate on preemption
+    admitting what reservation rejects, at strictly higher goodput."""
+    for s in schemes:
+        if s not in SCHEMES:
+            raise ValueError(f"unknown scheme {s!r} (choose from {SCHEMES})")
+    prof = dict(PREEMPT_AB_PROFILE)
+    if quick:
+        prof["requests"] = 12
+    cfg = tiny_config(num_heads=4)
+    params = init_transformer_params(cfg, seed=PARAM_SEED)
+    qq = int(DEFAULTS["q"])
+    gen = TrafficGenerator(
+        seed=seed,
+        vocab_size=cfg.vocab_size,
+        arrival=prof["arrival"],
+        rate_rps=prof["rate_rps"],
+        num_requests=prof["requests"],
+        burst_size=prof["burst_size"],
+        deadline_s=prof["deadline_s"],
+    )
+    trace = gen.generate()
+
+    arms = {
+        "reserve": ServingOptions(policy="reserve", deadline_s=prof["deadline_s"]),
+        "preempt-swap": ServingOptions(
+            policy="preempt", swap_blocks=prof["blocks"], deadline_s=prof["deadline_s"]
+        ),
+        "preempt-recompute": ServingOptions(
+            policy="preempt", swap_blocks=0, deadline_s=prof["deadline_s"]
+        ),
+    }
+    entries = []
+    gate = {}
+    for scheme in schemes:
+        per_policy = {}
+        for name, options in arms.items():
+            entry, _sim = run_arm(
+                scheme,
+                cfg,
+                params,
+                trace,
+                q=qq,
+                slots=prof["slots"],
+                block_size=prof["block_size"],
+                blocks=prof["blocks"],
+                slo_ttft=prof["slo_ttft"],
+                slo_tpot=prof["slo_tpot"],
+                options=options,
+            )
+            entry["arrival"] = prof["arrival"]
+            entry["policy"] = name
+            entries.append(entry)
+            per_policy[name] = entry
+        res = per_policy["reserve"]
+        gate[scheme] = {
+            "reserve_completed": res["completed"],
+            "preempt_swap_completed": per_policy["preempt-swap"]["completed"],
+            "preempt_recompute_completed": per_policy["preempt-recompute"]["completed"],
+            "reserve_goodput": res["goodput_tokens_per_s"],
+            "preempt_swap_goodput": per_policy["preempt-swap"]["goodput_tokens_per_s"],
+            "preempt_recompute_goodput": per_policy["preempt-recompute"][
+                "goodput_tokens_per_s"
+            ],
+            "reserve_rejected": prof["requests"] - res["completed"],
+            "admits_more": all(
+                per_policy[p]["completed"] > res["completed"]
+                for p in ("preempt-swap", "preempt-recompute")
+            ),
+            "goodput_higher": all(
+                per_policy[p]["goodput_tokens_per_s"] > res["goodput_tokens_per_s"]
+                for p in ("preempt-swap", "preempt-recompute")
+            ),
+        }
+    ok = all(g["admits_more"] and g["goodput_higher"] and g["reserve_rejected"] > 0
+             for g in gate.values())
+    return {
+        "report": "repro-serve-preempt-ab-v1",
+        "seed": seed,
+        "quick": bool(quick),
+        "profile": prof,
+        "traffic": gen.describe(),
+        "model": {**asdict(cfg), "param_seed": PARAM_SEED},
+        "arms": entries,
+        "gate": gate,
+        "ok": ok,
+    }
+
+
+def render_preempt_ab(report: dict) -> str:
+    head = (
+        f"{'scheme':<10} {'policy':<18} {'done':>5} {'goodput':>10} "
+        f"{'preempted':>9} {'timed out':>9}"
+    )
+    rows = [head, "-" * len(head)]
+    for e in report["arms"]:
+        lc = e.get("lifecycle", {})
+        rows.append(
+            f"{e['scheme']:<10} {e['policy']:<18} "
+            f"{e['completed']:>3}/{e['requests']:<2} "
+            f"{e['goodput_tokens_per_s']:>10.1f} "
+            f"{lc.get('preempted', 0):>9} {lc.get('timed_out', 0):>9}"
+        )
+    return "\n".join(rows)
 
 
 # ----------------------------------------------------------------------
@@ -340,9 +520,11 @@ def render_text(report: dict) -> str:
     )
     rows = [head, "-" * len(head)]
     for e in report["schemes"]:
+        ttft = f"{e['ttft_s']['p50'] * 1e3:>8.3f}ms" if e["ttft_s"] else f"{'—':>10}"
+        e2e = f"{e['e2e_s']['p99'] * 1e3:>8.3f}ms" if e["e2e_s"] else f"{'—':>10}"
         rows.append(
             f"{e['scheme']:<10} {e['arrival']:<8} "
-            f"{e['ttft_s']['p50'] * 1e3:>8.3f}ms {e['e2e_s']['p99'] * 1e3:>8.3f}ms "
+            f"{ttft} {e2e} "
             f"{e['goodput_tokens_per_s']:>10.1f} {e['slo_attainment']:>6.2f} "
             f"{e['steps']:>6}"
         )
@@ -358,11 +540,55 @@ def write_report(report: dict, path: str) -> None:
         f.write("\n")
 
 
+def load_baseline(path: str) -> dict:
+    """Read an SLO baseline report, failing with actionable errors: a
+    missing or corrupt file names the path and the regeneration command
+    instead of surfacing a bare traceback."""
+    regen = f"python -m repro serve --seed 0 --out {path}"
+    try:
+        with open(path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: serving baseline {path!r} not found — regenerate it with: {regen}"
+        )
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"error: serving baseline {path!r} is not valid JSON ({exc}) — "
+            f"regenerate it with: {regen}"
+        )
+    if not isinstance(baseline, dict) or "schemes" not in baseline:
+        raise SystemExit(
+            f"error: serving baseline {path!r} has no 'schemes' section "
+            f"(not a {REPORT_SCHEMA} report?) — regenerate it with: {regen}"
+        )
+    return baseline
+
+
 def cmd_serve(args) -> int:
     """Driver for ``python -m repro serve`` (returns the exit code)."""
     ledger = RunLedger(args.ledger) if getattr(args, "ledger", None) else None
+    schemes = tuple(args.scheme) if args.scheme else SCHEMES
+
+    if getattr(args, "preempt_ab", False):
+        ab = run_preempt_ab(args.seed, quick=args.quick, schemes=schemes)
+        if args.out:
+            write_report(ab, args.out)
+        print(render_preempt_ab(ab))
+        if not ab["ok"]:
+            print(
+                "FAIL: preemption did not beat conservative reservation "
+                "(see the 'gate' section of the report)"
+            )
+            return 1
+        print(
+            "ok: preemption admits what reservation rejects, at strictly "
+            "higher goodput (both swap and recompute arms)"
+        )
+        return 0
+
     kw = dict(
-        schemes=tuple(args.scheme) if args.scheme else SCHEMES,
+        schemes=schemes,
         arrivals=tuple(args.arrival) if args.arrival else ARRIVAL_PROFILES,
         requests=args.requests,
         rate_rps=args.rate,
@@ -372,8 +598,17 @@ def cmd_serve(args) -> int:
         blocks=args.blocks,
         slo_ttft=args.slo_ttft,
         slo_tpot=args.slo_tpot,
+        policy=getattr(args, "policy", None),
+        swap_blocks=getattr(args, "swap_blocks", None),
+        swap_gbps=getattr(args, "swap_bw", None),
+        deadline=getattr(args, "deadline", None),
+        retries=getattr(args, "retries", None),
+        max_queue_depth=getattr(args, "max_queue_depth", None),
     )
     if args.ab:
+        for name in ("policy", "swap_blocks", "swap_gbps", "deadline", "retries",
+                     "max_queue_depth"):
+            kw.pop(name)
         ab = run_ab(args.seed, quick=args.quick, **kw)
         if args.out:
             write_report(ab, args.out)
@@ -389,8 +624,7 @@ def cmd_serve(args) -> int:
         write_report(report, args.out)
     print(render_text(report))
     if args.compare:
-        with open(args.compare) as f:
-            baseline = json.load(f)
+        baseline = load_baseline(args.compare)
         ok, lines = compare_reports(report, baseline, threshold=args.threshold)
         print()
         print(f"SLO gate vs {args.compare} (threshold {args.threshold:.0%}):")

@@ -48,6 +48,20 @@ class Request:
     arrival: float  # simulated seconds
     prompt: tuple = field(repr=False)  # token ids, length >= 1
     max_new: int = 1  # output tokens to generate, >= 1
+    priority: int = 0  # higher = more important (preemption picks the lowest)
+    deadline_s: Optional[float] = None  # e2e deadline relative to arrival
+
+    def __post_init__(self):
+        if len(self.prompt) < 1:
+            raise ValueError(
+                f"request {self.rid}: zero-length prompt (prompts need >= 1 token)"
+            )
+        if self.max_new < 1:
+            raise ValueError(f"request {self.rid}: max_new must be >= 1, got {self.max_new}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"request {self.rid}: deadline_s must be positive, got {self.deadline_s}"
+            )
 
     @property
     def prompt_len(self) -> int:
@@ -77,6 +91,7 @@ class TrafficGenerator:
         burst_size: int = 4,
         prompt_lengths: Optional[Sequence[Tuple]] = None,
         output_lengths: Optional[Sequence[Tuple]] = None,
+        deadline_s: Optional[float] = None,
     ):
         if arrival not in ARRIVAL_PROFILES:
             raise ValueError(
@@ -86,6 +101,8 @@ class TrafficGenerator:
             raise ValueError(f"rate_rps must be positive, got {rate_rps}")
         if num_requests < 1:
             raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.seed = seed
         self.vocab_size = vocab_size
         self.arrival = arrival
@@ -94,6 +111,19 @@ class TrafficGenerator:
         self.burst_size = max(1, burst_size)
         self.prompt_lengths = tuple(prompt_lengths) if prompt_lengths else PROMPT_LENGTHS
         self.output_lengths = tuple(output_lengths) if output_lengths else OUTPUT_LENGTHS
+        self.deadline_s = deadline_s
+        for plen in self.prompt_lengths[0]:
+            if plen < 1:
+                raise ValueError(
+                    f"prompt length distribution contains {plen}: zero-length "
+                    "prompts are invalid (every prompt needs >= 1 token)"
+                )
+        for olen in self.output_lengths[0]:
+            if olen < 1:
+                raise ValueError(
+                    f"output length distribution contains {olen}: every request "
+                    "must generate >= 1 token"
+                )
 
     # ------------------------------------------------------------------
     def generate(self) -> List[Request]:
@@ -112,13 +142,21 @@ class TrafficGenerator:
             prompt_len = int(rng.choice(plen_vals, p=plen_w))
             max_new = int(rng.choice(olen_vals, p=olen_w))
             prompt = tuple(int(x) for x in rng.integers(0, self.vocab_size, size=prompt_len))
-            requests.append(Request(rid=rid, arrival=t, prompt=prompt, max_new=max_new))
+            requests.append(
+                Request(
+                    rid=rid,
+                    arrival=t,
+                    prompt=prompt,
+                    max_new=max_new,
+                    deadline_s=self.deadline_s,
+                )
+            )
         requests.sort(key=lambda r: (r.arrival, r.rid))
         return requests
 
     def describe(self) -> dict:
         """JSON-safe description of the traffic (goes into the report)."""
-        return {
+        doc = {
             "seed": self.seed,
             "arrival": self.arrival,
             "rate_rps": self.rate_rps,
@@ -127,3 +165,7 @@ class TrafficGenerator:
             "prompt_lengths": [list(self.prompt_lengths[0]), list(self.prompt_lengths[1])],
             "output_lengths": [list(self.output_lengths[0]), list(self.output_lengths[1])],
         }
+        # only present when set: the default document stays byte-identical
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc

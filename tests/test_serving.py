@@ -25,7 +25,7 @@ from repro.serving.report import (
     run_ab,
     run_serve,
 )
-from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.scheduler import ContinuousBatchingScheduler, ServingOptions
 from repro.serving.traffic import Request, TrafficGenerator
 
 CFG = tiny_config(num_heads=4)
@@ -450,3 +450,232 @@ class TestServeCLI:
         with open(out) as f:
             assert json.load(f)["equal"] is True
         assert "byte-identical" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# lifecycle knobs: validation
+# ----------------------------------------------------------------------
+class TestServingOptions:
+    @pytest.mark.parametrize(
+        "kw, flag",
+        [
+            ({"policy": "spill"}, "--policy"),
+            ({"swap_blocks": -1}, "--swap-blocks"),
+            ({"swap_gbps": 0.0}, "--swap-bw"),
+            ({"deadline_s": 0.0}, "--deadline"),
+            ({"deadline_s": -1.0}, "--deadline"),
+            ({"max_retries": -1}, "--retries"),
+            ({"max_queue_depth": 0}, "--max-queue-depth"),
+        ],
+    )
+    def test_bad_knob_names_the_flag(self, kw, flag):
+        with pytest.raises(ValueError, match=flag):
+            ServingOptions(**kw)
+
+    def test_defaults_are_disabled(self):
+        assert ServingOptions().enabled is False
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"policy": "preempt"},
+            {"deadline_s": 1.0},
+            {"max_retries": 1},
+            {"max_queue_depth": 4},
+        ],
+    )
+    def test_any_lifecycle_knob_enables(self, kw):
+        assert ServingOptions(**kw).enabled is True
+
+    @pytest.mark.parametrize(
+        "kw, flag",
+        [({"slo_ttft": 0.0}, "--slo-ttft"), ({"slo_tpot": -1.0}, "--slo-tpot")],
+    )
+    def test_run_serve_validates_slo_targets(self, kw, flag):
+        with pytest.raises(ValueError, match=flag):
+            run_serve(0, quick=True, requests=4, **kw)
+
+
+# ----------------------------------------------------------------------
+# traffic edge cases
+# ----------------------------------------------------------------------
+class TestTrafficEdgeCases:
+    def test_zero_length_prompt_rejected(self):
+        with pytest.raises(ValueError, match="zero-length prompt"):
+            Request(rid=0, arrival=0.0, prompt=(), max_new=2)
+
+    def test_generator_rejects_zero_prompt_lengths(self):
+        with pytest.raises(ValueError, match="zero-length"):
+            TrafficGenerator(
+                0, CFG.vocab_size, prompt_lengths=((0, 4), (0.5, 0.5))
+            )
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Request(rid=0, arrival=0.0, prompt=(1,), max_new=1, deadline_s=0.0)
+        with pytest.raises(ValueError, match="deadline"):
+            TrafficGenerator(0, CFG.vocab_size, deadline_s=-0.5)
+
+    def test_output_exactly_at_kv_capacity_boundary(self):
+        # pool: 4 blocks × 4 positions = 16 KV positions per group; the
+        # request's kv_positions (prompt + max_new - 1) lands exactly on it
+        req = Request(rid=0, arrival=0.0, prompt=tuple(range(1, 9)), max_new=9)
+        assert req.kv_positions == 16
+        engine = make_engine("optimus", CFG, PARAMS, 2, 2, 4, 4)
+        result = engine.run([req])
+        assert len(result.completed) == 1
+        assert len(result.completed[0].generated) == 9
+        assert all(p.in_use == 0 for p in engine.cache.pools.values())
+
+    def test_one_past_kv_capacity_never_admits(self):
+        req = Request(rid=0, arrival=0.0, prompt=tuple(range(1, 9)), max_new=10)
+        engine = make_engine("optimus", CFG, PARAMS, 2, 2, 4, 4)
+        with pytest.raises(ValueError, match="could never be admitted"):
+            engine.run([req])
+
+    def test_burst_beyond_queue_bound_sheds_deterministically(self):
+        gen = TrafficGenerator(
+            0, CFG.vocab_size, arrival="bursty", burst_size=8, num_requests=16
+        )
+        opts = ServingOptions(max_queue_depth=3)
+
+        def shed():
+            engine = make_engine("optimus", CFG, PARAMS, 2, 2, 8, 8, options=opts)
+            result = engine.run(gen.generate())
+            return result.lifecycle
+
+        a, b = shed(), shed()
+        assert a == b  # deterministic shed accounting
+        assert a["rejected_shed"] > 0
+        assert a["shed_rids"] == sorted(a["shed_rids"])  # reported lowest-rid first
+        assert len(a["shed_rids"]) == a["rejected_shed"]
+
+
+# ----------------------------------------------------------------------
+# preemption: swap and recompute keep tokens identical
+# ----------------------------------------------------------------------
+class TestPreemption:
+    # 6 requests whose full footprints cannot all be reserved up front:
+    # conservative reservation serializes, preemption overlaps them
+    REQS = _requests([
+        (0.0, (5, 11, 23, 8), 6),
+        (0.0, (40, 1, 3), 7),
+        (0.0, (7, 9, 13), 6),
+        (0.0, (2, 30, 19), 7),
+        (0.0, (22, 4), 6),
+        (0.0, (17, 6, 2), 6),
+    ])
+
+    def _run(self, options):
+        engine = make_engine("optimus", CFG, PARAMS, 2, 6, 4, 4, options=options)
+        result = engine.run(self.REQS)
+        tokens = {
+            s.request.rid: list(s.generated)
+            for s in sorted(result.completed, key=lambda s: s.request.rid)
+        }
+        return tokens, result
+
+    def test_swap_path_preserves_tokens(self):
+        baseline, _ = self._run(None)
+        opts = ServingOptions(policy="preempt", swap_blocks=16)
+        tokens, result = self._run(opts)
+        assert tokens == baseline
+        lc = result.lifecycle
+        assert lc["preempted"] > 0 and lc["swapped_out"] > 0
+        assert lc["swapped_in"] == lc["swapped_out"]
+        assert result.cache_stats["host_swap"]["swap_out_count"] == lc["swapped_out"]
+        assert "swap" in result.attribution
+        assert result.attribution["swap"] > 0.0
+
+    def test_recompute_path_preserves_tokens(self):
+        baseline, _ = self._run(None)
+        opts = ServingOptions(policy="preempt", swap_blocks=0)
+        tokens, result = self._run(opts)
+        assert tokens == baseline
+        lc = result.lifecycle
+        assert lc["preempted"] > 0 and lc["recomputed"] > 0
+        assert lc["recomputed_tokens"] > 0
+        assert lc["swapped_out"] == 0
+
+    def test_preempt_runs_are_deterministic(self):
+        opts = ServingOptions(policy="preempt", swap_blocks=16)
+        _, a = self._run(opts)
+        _, b = self._run(opts)
+        assert a.lifecycle == b.lifecycle
+        assert a.attribution == b.attribution
+        assert a.clock == b.clock
+
+    def test_attribution_still_telescopes_under_preemption(self):
+        for swap_blocks in (0, 16):
+            opts = ServingOptions(policy="preempt", swap_blocks=swap_blocks)
+            _, result = self._run(opts)
+            assert sum(result.attribution.values()) == pytest.approx(
+                result.clock, rel=1e-9
+            )
+
+    def test_swap_meters_drain(self):
+        opts = ServingOptions(policy="preempt", swap_blocks=16)
+        engine = make_engine("optimus", CFG, PARAMS, 2, 6, 4, 4, options=opts)
+        engine.run(self.REQS)
+        assert engine.swap is not None
+        assert engine.swap.blocks_held == 0
+        assert engine.swap.peak_blocks > 0
+        assert engine.swap.meter.current == 0
+
+
+# ----------------------------------------------------------------------
+# deadlines, retries, backpressure
+# ----------------------------------------------------------------------
+class TestDeadlinesAndRetries:
+    def test_queued_expiry_rejects_without_retry(self):
+        # slot 0 is busy with a long request; rid 1's deadline lapses queued
+        reqs = [
+            Request(rid=0, arrival=0.0, prompt=(5, 11), max_new=12),
+            Request(rid=1, arrival=0.0, prompt=(7,), max_new=2, deadline_s=1e-6),
+        ]
+        opts = ServingOptions(deadline_s=None)
+        engine = make_engine("megatron", CFG, PARAMS, 2, 1, 8, 16, options=opts)
+        result = engine.run(reqs)
+        lc = result.lifecycle
+        assert lc["rejected_deadline"] == 1
+        assert lc["timeout_rids"] == [1]
+        assert {s.request.rid for s in result.completed} == {0}
+
+    def test_midflight_timeout_aborts_and_frees_kv(self):
+        reqs = [Request(rid=0, arrival=0.0, prompt=(5, 11), max_new=50, deadline_s=1e-6)]
+        opts = ServingOptions(max_retries=0, deadline_s=None)
+        engine = make_engine("optimus", CFG, PARAMS, 2, 2, 8, 16, options=opts)
+        result = engine.run(reqs)
+        assert result.lifecycle["timed_out"] == 1
+        assert not result.completed
+        assert all(p.in_use == 0 for p in engine.cache.pools.values())
+
+    def test_retry_budget_is_spent_then_exhausted(self):
+        reqs = [Request(rid=0, arrival=0.0, prompt=(5,), max_new=50, deadline_s=1e-6)]
+        opts = ServingOptions(max_retries=2)
+        engine = make_engine("optimus", CFG, PARAMS, 2, 2, 8, 16, options=opts)
+        result = engine.run(reqs)
+        lc = result.lifecycle
+        assert lc["retried"] == 2  # budget fully spent
+        assert lc["timeout_rids"] == [0]  # then the request is abandoned
+
+    def test_default_report_has_no_lifecycle_sections(self):
+        rep = run_serve(0, quick=True, requests=4)
+        assert "lifecycle" not in rep["serving"]
+        for e in rep["schemes"]:
+            assert "lifecycle" not in e
+            assert "swap" not in e["phases_s"]
+            assert "recovery" not in e["phases_s"]
+
+    def test_lifecycle_report_sections_appear_when_enabled(self):
+        rep = run_serve(
+            0, quick=True, requests=4, policy="preempt", swap_blocks=8,
+            deadline=5.0, retries=1, max_queue_depth=8,
+        )
+        assert rep["serving"]["lifecycle"]["policy"] == "preempt"
+        assert rep["serving"]["lifecycle"]["swap_blocks"] == 8
+        for e in rep["schemes"]:
+            lc = e["lifecycle"]
+            for key in ("rejected_shed", "rejected_deadline", "retried",
+                        "preempted", "timed_out"):
+                assert key in lc
