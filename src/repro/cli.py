@@ -195,6 +195,16 @@ def main(argv=None) -> int:
     crit.add_argument(
         "--top", type=int, default=12, help="rows in the bottleneck table"
     )
+    crit.add_argument(
+        "--calibrate", action="store_true",
+        help="emit a canonical-JSON α–β cost-model adjustment suggestion "
+        "from the measured/predicted bottleneck ratios (no automatic "
+        "application)",
+    )
+    crit.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="with --calibrate: store the suggestion as a ledger extra",
+    )
 
     led = sub.add_parser(
         "ledger", help="run-ledger maintenance (see subcommands)"
@@ -405,6 +415,32 @@ def main(argv=None) -> int:
         help="run reserve vs preempt(swap) vs preempt(recompute) arms on an "
         "overload profile and gate on preemption winning",
     )
+    srv.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve a live OpenMetrics endpoint on 127.0.0.1:PORT while the "
+        "run executes (0 = ephemeral port; simulated outputs unchanged)",
+    )
+    srv.add_argument(
+        "--metrics-hold", type=float, default=None, metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the run so late "
+        "scrapers catch the final state (/quitquitquit ends it early)",
+    )
+    srv.add_argument(
+        "--alerts", action="store_true",
+        help="arm the stock SLO alert rules (p99-TTFT/TPOT burn, queue-depth "
+        "ceiling, KV-occupancy high-water, goodput floor); adds an 'alerts' "
+        "section per arm",
+    )
+    srv.add_argument(
+        "--alert-rules", default=None, metavar="RULES.json",
+        help="arm a custom JSON list of alert rules instead of the stock set",
+    )
+    srv.add_argument(
+        "--sweep", default=None, metavar="RATE1,RATE2,...",
+        help="latency-vs-load sweep: run the seeded traffic at each offered "
+        "load and emit a repro-serve-sweep-v1 report (one ledger record per "
+        "point with --ledger; the dashboard charts the curve)",
+    )
 
     chk = sub.add_parser(
         "check",
@@ -426,6 +462,32 @@ def main(argv=None) -> int:
         help="skip the batched-mesh vs per-rank bit-exactness arm",
     )
 
+    met = sub.add_parser(
+        "metrics",
+        help="live OpenMetrics endpoints (see subcommands)",
+    )
+    met_sub = met.add_subparsers(
+        dest="metrics_command", required=True, metavar="subcommand"
+    )
+    met_serve = met_sub.add_parser(
+        "serve",
+        help="serve the run ledger's newest per-kind metrics over HTTP "
+        "(re-read on every scrape; validated OpenMetrics)",
+    )
+    met_serve.add_argument(
+        "ledger", nargs="?", default="benchmarks/ledger",
+        help="ledger JSONL file/dir (default: benchmarks/ledger)",
+    )
+    met_serve.add_argument(
+        "--port", type=int, default=9464,
+        help="listen port on 127.0.0.1 (0 = ephemeral; default 9464)",
+    )
+    met_serve.add_argument(
+        "--hold", type=float, default=None, metavar="SECONDS",
+        help="serve for this long then exit (default: until ctrl-c or "
+        "/quitquitquit)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "critpath":
         from repro.obs.critpath import main as critpath_main
@@ -437,7 +499,13 @@ def main(argv=None) -> int:
             folded=args.folded,
             top=args.top,
             as_json=args.as_json,
+            calibrate=args.calibrate,
+            ledger=args.ledger,
         )
+    if args.command == "metrics":
+        from repro.obs.live import serve_ledger_metrics
+
+        return serve_ledger_metrics(args.ledger, port=args.port, hold=args.hold)
     if args.command == "ledger":
         from repro.obs.ledger import compact_main
 

@@ -1,0 +1,260 @@
+"""Deterministic SLO alerting over the live metrics registry.
+
+A declarative :class:`AlertRule` names a registry metric, a statistic over
+it, a comparison against a threshold, and a ``for_s`` hold duration on the
+**simulated** clock.  The :class:`AlertEngine` is evaluated inline at every
+serving-engine step: a rule *fires* once its condition has held
+continuously for ``for_s`` simulated seconds, and *resolves* on the first
+evaluation where the condition no longer holds.  Everything is a pure
+function of registry state and the simulated clock — no wall time, no
+randomness — so two same-seed runs produce byte-identical alert event
+streams (CI diffs them).
+
+Evaluation is strictly read-only over the registry: arming alerting can
+never move a simulated clock or change a sampled token, which is what
+keeps serve reports byte-identical with alerting on or off (modulo the
+``alerts`` sections themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+OPS = (">", ">=", "<", "<=")
+
+#: statistics a rule may take over a metric instance.  ``value`` reads a
+#: counter/gauge directly; ``rate`` divides a counter by the simulated
+#: clock (inactive until the counter first moves, so floor rules cannot
+#: trivially fire at t=0); the rest are histogram statistics (inactive
+#: while the histogram is empty).
+STATS = ("value", "rate", "count", "sum", "mean", "min", "max", "p50", "p90", "p99")
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alerting rule over a registry metric."""
+
+    name: str
+    metric: str  # registry metric name, e.g. "serving/queue_depth"
+    op: str  # comparison: > >= < <=
+    threshold: float
+    stat: str = "value"
+    for_s: float = 0.0  # condition must hold this long (simulated clock)
+    severity: str = "warning"
+    #: optional label filter: a metric instance matches when every pair
+    #: here appears in its label set (sorted tuple keeps the rule hashable)
+    labels: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("alert rule needs a non-empty name")
+        if self.op not in OPS:
+            raise ValueError(f"rule {self.name!r}: unknown op {self.op!r} (choose from {OPS})")
+        if self.stat not in STATS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown stat {self.stat!r} (choose from {STATS})"
+            )
+        if self.for_s < 0:
+            raise ValueError(f"rule {self.name!r}: for_s must be >= 0, got {self.for_s}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {self.name!r}: unknown severity {self.severity!r} "
+                f"(choose from {SEVERITIES})"
+            )
+        object.__setattr__(self, "labels", tuple(sorted(tuple(p) for p in self.labels)))
+
+    def expr(self) -> str:
+        """Human-readable rule expression (goes in reports and docs)."""
+        stat = "" if self.stat == "value" else f".{self.stat}"
+        sel = "{" + ",".join(f"{k}={v}" for k, v in self.labels) + "}" if self.labels else ""
+        return f"{self.metric}{sel}{stat} {self.op} {self.threshold:g} for {self.for_s:g}s"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "stat": self.stat,
+            "for_s": self.for_s,
+            "severity": self.severity,
+            "labels": {k: v for k, v in self.labels},
+            "expr": self.expr(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AlertRule":
+        doc = dict(doc)
+        doc.pop("expr", None)
+        labels = doc.pop("labels", None) or {}
+        return cls(labels=tuple(sorted((str(k), v) for k, v in labels.items())), **doc)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One firing/resolved transition, stamped in simulated time."""
+
+    rule: str
+    severity: str
+    state: str  # "firing" | "resolved"
+    step: int  # engine step at evaluation time
+    t: float  # simulated seconds
+    value: float  # the statistic's value at the transition
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "step": self.step,
+            "t": self.t,
+            "value": self.value,
+        }
+
+
+def _instance_value(metric, stat: str, now: float) -> Optional[float]:
+    """The rule statistic for one metric instance; None = inactive."""
+    from repro.obs.metrics import Histogram
+
+    if isinstance(metric, Histogram):
+        if metric.count == 0:
+            return None
+        if stat == "count":
+            return float(metric.count)
+        if stat == "sum":
+            return metric.total
+        if stat == "mean":
+            return metric.mean
+        if stat == "min":
+            return metric.min
+        if stat == "max":
+            return metric.max
+        if stat in ("p50", "p90", "p99"):
+            return metric.percentile(float(stat[1:]))
+        return None  # value/rate make no sense for a histogram
+    if stat == "value":
+        return metric.value
+    if stat == "rate":
+        # inactive until the series first moves: a rate-floor rule must
+        # not fire trivially at t=0 before any work happened
+        if metric.value <= 0 or now <= 0:
+            return None
+        return metric.value / now
+    return None
+
+
+class AlertEngine:
+    """Evaluates a rule set against a registry on the simulated clock."""
+
+    def __init__(self, rules: Sequence[AlertRule]):
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names: {sorted(names)}")
+        self.rules = tuple(rules)
+        self._breach_since: Dict[str, float] = {}
+        self._firing: Dict[str, bool] = {r.name: False for r in self.rules}
+        self.events: List[AlertEvent] = []
+
+    # ------------------------------------------------------------------
+    def _rule_value(self, rule: AlertRule, registry, now: float) -> Optional[float]:
+        """Worst-case reduction across matching instances; None = inactive."""
+        want = dict(rule.labels)
+        values = []
+        for m in registry.find(rule.metric):
+            labels = getattr(m, "labels", {}) or {}
+            if any(labels.get(k) != v for k, v in want.items()):
+                continue
+            v = _instance_value(m, rule.stat, now)
+            if v is not None:
+                values.append(v)
+        if not values:
+            return None
+        # "worst case" depends on the direction: ceilings watch the highest
+        # instance, floors the lowest
+        return max(values) if rule.op in (">", ">=") else min(values)
+
+    @staticmethod
+    def _breached(rule: AlertRule, value: float) -> bool:
+        if rule.op == ">":
+            return value > rule.threshold
+        if rule.op == ">=":
+            return value >= rule.threshold
+        if rule.op == "<":
+            return value < rule.threshold
+        return value <= rule.threshold
+
+    def evaluate(self, registry, now: float, step: int) -> List[AlertEvent]:
+        """One evaluation pass; returns the transitions that happened."""
+        out: List[AlertEvent] = []
+        for rule in self.rules:
+            value = self._rule_value(rule, registry, now)
+            breached = value is not None and self._breached(rule, value)
+            if breached:
+                since = self._breach_since.setdefault(rule.name, now)
+                if not self._firing[rule.name] and now - since >= rule.for_s:
+                    self._firing[rule.name] = True
+                    out.append(AlertEvent(rule.name, rule.severity, "firing", step, now, value))
+            else:
+                self._breach_since.pop(rule.name, None)
+                if self._firing[rule.name]:
+                    self._firing[rule.name] = False
+                    out.append(
+                        AlertEvent(
+                            rule.name, rule.severity, "resolved", step, now,
+                            0.0 if value is None else value,
+                        )
+                    )
+        self.events.extend(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def firing(self) -> List[str]:
+        return sorted(name for name, on in self._firing.items() if on)
+
+    def summary(self) -> dict:
+        """Canonical-JSON-safe digest for the serve report and the ledger."""
+        events = [e.to_dict() for e in self.events]
+        return {
+            "rules": [r.to_dict() for r in self.rules],
+            "events": events,
+            "fired_total": sum(1 for e in events if e["state"] == "firing"),
+            "resolved_total": sum(1 for e in events if e["state"] == "resolved"),
+            "firing": self.firing(),
+        }
+
+
+# ----------------------------------------------------------------------
+def default_serving_rules(
+    slo_ttft: float, slo_tpot: float, slots: int
+) -> List[AlertRule]:
+    """The stock serving rule set (``repro serve --alerts``).
+
+    Thresholds key off the run's own SLO and capacity knobs; the queue and
+    KV rules both fire under overload *and* resolve at drain, so a bounded
+    traffic trace exercises the full firing→resolved lifecycle.
+    """
+    return [
+        AlertRule(
+            name="ttft-p99-burn", metric="serving/ttft_s", stat="p99",
+            op=">", threshold=slo_ttft, for_s=0.0, severity="critical",
+        ),
+        AlertRule(
+            name="tpot-p99-burn", metric="serving/tpot_s", stat="p99",
+            op=">", threshold=slo_tpot, for_s=0.0, severity="warning",
+        ),
+        AlertRule(
+            name="queue-depth-ceiling", metric="serving/queue_depth",
+            op=">=", threshold=float(slots), for_s=5e-4, severity="warning",
+        ),
+        AlertRule(
+            name="kv-occupancy-high", metric="serving/kv_used_frac",
+            op=">=", threshold=0.95, for_s=5e-4, severity="warning",
+        ),
+        AlertRule(
+            name="goodput-floor", metric="serving/good_tokens",
+            stat="rate", op="<", threshold=100.0, for_s=1e-3, severity="info",
+        ),
+    ]

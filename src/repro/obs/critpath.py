@@ -592,6 +592,94 @@ def attribution_summary(sim) -> dict:
 
 
 # ----------------------------------------------------------------------
+# cost-model calibration (measured / predicted feedback)
+# ----------------------------------------------------------------------
+CALIB_SCHEMA = "repro-calib-v1"
+
+
+def calibration_suggestion(sim, experiment: str, scheme: str) -> dict:
+    """A canonical-JSON α–β adjustment suggestion from one traced run.
+
+    Aggregates the critical-path bottleneck rows by event *kind* and turns
+    the measured/predicted ratios into two scalar scale suggestions — one
+    for communication kinds, one for compute — weighted by measured time.
+    Deliberately advisory: nothing here rewrites the cost model (a single
+    run cannot separate α from β; that needs a multi-size regression), it
+    just localizes and quantifies the disagreement so a human can act.
+    """
+    doc = critpath_report(sim, max_path_segments=0)
+    by_kind: Dict[str, dict] = {}
+    for w in doc["windows"]:
+        for row in w["bottlenecks"]:
+            if not row["kind"] or not row["predicted_ns"]:
+                continue  # stalls and un-priced kinds carry no signal
+            acc = by_kind.setdefault(row["kind"], {
+                "kind": row["kind"], "category": row["category"],
+                "count": 0, "measured_ns": 0, "predicted_ns": 0,
+            })
+            acc["count"] += row["count"]
+            acc["measured_ns"] += row["measured_ns"]
+            acc["predicted_ns"] += row["predicted_ns"]
+    kinds = sorted(by_kind.values(), key=lambda r: (-r["measured_ns"], r["kind"]))
+    for row in kinds:
+        row["ratio"] = row["measured_ns"] / row["predicted_ns"]
+
+    def _weighted_scale(category: str) -> Optional[float]:
+        rows = [r for r in kinds if r["category"] == category]
+        meas = sum(r["measured_ns"] for r in rows)
+        pred = sum(r["predicted_ns"] for r in rows)
+        return meas / pred if pred else None
+
+    return {
+        "schema": CALIB_SCHEMA,
+        "basis": {
+            "experiment": experiment,
+            "scheme": scheme,
+            "num_ranks": doc["num_ranks"],
+            "num_windows": doc["num_windows"],
+            "wall_clock_ns": doc["wall_clock_ns"],
+        },
+        "kinds": kinds,
+        "suggestion": {
+            "comm_scale": _weighted_scale("comm"),
+            "compute_scale": _weighted_scale("compute"),
+            "note": (
+                "advisory only — scales fold contention and stragglers into "
+                "β; separating α from β needs a multi-size regression, so "
+                "apply by hand after inspecting the per-kind ratios"
+            ),
+        },
+    }
+
+
+def render_calibration(doc: dict) -> str:
+    """Human-readable table for one :func:`calibration_suggestion` doc."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        [r["kind"], r["category"], r["count"], _fmt_ns(r["measured_ns"]),
+         _fmt_ns(r["predicted_ns"]), f"{r['ratio']:.3f}"]
+        for r in doc["kinds"]
+    ]
+    s = doc["suggestion"]
+    table = format_table(
+        ["kind", "category", "count", "measured", "predicted", "meas/pred"],
+        rows,
+        title=(f"Cost-model calibration — {doc['basis']['experiment']} "
+               f"[{doc['basis']['scheme']}]"),
+    )
+    lines = [table, ""]
+    for label, key in (("comm", "comm_scale"), ("compute", "compute_scale")):
+        v = s[key]
+        lines.append(
+            f"suggested {label} scale: {v:.3f}" if v is not None
+            else f"suggested {label} scale: — (no priced {label} on the path)"
+        )
+    lines.append(f"note: {s['note']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
 def _fmt_ns(ns: int) -> str:
@@ -662,6 +750,8 @@ def main(
     folded: Optional[str] = None,
     top: int = 12,
     as_json: bool = False,
+    calibrate: bool = False,
+    ledger: Optional[str] = None,
     printer=print,
 ) -> int:
     """``python -m repro critpath`` driver: trace a workload, analyze it."""
@@ -670,11 +760,25 @@ def main(
 
     sim = run_profile(experiment, scheme=scheme)
     doc = critpath_report(sim)
-    text = canonical_json(doc)
+    calib = calibration_suggestion(sim, experiment, scheme) if calibrate else None
     if as_json:
-        printer(text)
+        printer(canonical_json(calib) if calibrate else canonical_json(doc))
     else:
         printer(render_report(doc, top=top))
+        if calib is not None:
+            printer("")
+            printer(render_calibration(calib))
+    if calib is not None and ledger:
+        from repro.obs.ledger import RunLedger, record_from_sim
+
+        rec = record_from_sim(
+            "experiment", sim, label=f"critpath-calibration:{experiment}",
+            scheme=scheme, extra={"calibration": calib},
+        )
+        RunLedger(ledger).append(rec)
+        if not as_json:
+            printer(f"calibration suggestion appended to ledger {ledger}")
+    text = canonical_json(doc)
     if out:
         with open(out, "w") as f:
             f.write(text)

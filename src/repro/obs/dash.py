@@ -40,6 +40,8 @@ _STATUS = {  # icon + label: color never carries a verdict alone
     "no-evidence": ("○", "NO EVIDENCE", "status-muted"),
     "ok": ("✓", "OK", "status-good"),
     "regressed": ("✗", "REGRESSED", "status-critical"),
+    "fired": ("▲", "FIRED", "status-critical"),
+    "quiet": ("✓", "QUIET", "status-good"),
 }
 
 
@@ -258,6 +260,70 @@ def serving_rows(records: Sequence[RunRecord]) -> List[dict]:
     return rows
 
 
+def sweep_series(records: Sequence[RunRecord]) -> dict:
+    """Latency/goodput-vs-offered-load curves from serve ledger records.
+
+    Groups serve records by (scheme, arrival) and orders each group by
+    offered load (``rate_rps``), keeping the newest record per rate — the
+    shape ``repro serve --sweep`` appends, one record per point.  Returns
+    ``{"p99_e2e_s": {label: [(rate, v), …]}, "goodput": {…}}``; groups
+    with fewer than two distinct rates are dropped (a single point is a
+    table row, not a curve).
+    """
+    newest: dict = {}
+    for r in records:
+        if r.kind != "serve":
+            continue
+        e = r.extra or {}
+        rate = e.get("rate_rps")
+        if rate is None:
+            continue
+        newest[(r.scheme or "?", e.get("arrival") or "?", float(rate))] = r
+    out: dict = {"p99_e2e_s": {}, "goodput": {}}
+    for (scheme, arrival, rate) in sorted(newest):
+        r = newest[(scheme, arrival, rate)]
+        e = r.extra or {}
+        label = f"{scheme}/{arrival}"
+        if e.get("p99_e2e_s") is not None:
+            out["p99_e2e_s"].setdefault(label, []).append((rate, float(e["p99_e2e_s"])))
+        if e.get("goodput_tokens_per_s") is not None:
+            out["goodput"].setdefault(label, []).append(
+                (rate, float(e["goodput_tokens_per_s"]))
+            )
+    for key in out:
+        out[key] = {
+            label: pts for label, pts in out[key].items()
+            if len({p[0] for p in pts}) >= 2
+        }
+    return out
+
+
+def alerts_rows(records: Sequence[RunRecord]) -> List[dict]:
+    """Newest serve record per (scheme, arrival) that carries alert totals."""
+    newest: dict = {}
+    for r in records:
+        if r.kind != "serve":
+            continue
+        e = r.extra or {}
+        if "alerts" not in e:
+            continue
+        newest[(r.scheme or "?", e.get("arrival") or "?")] = r
+    rows = []
+    for (scheme, arrival), r in sorted(newest.items()):
+        e = r.extra or {}
+        a = e["alerts"]
+        rows.append({
+            "record": _record_label(r),
+            "run_id": r.run_id,
+            "scheme": scheme,
+            "arrival": arrival,
+            "fired": a.get("fired", 0),
+            "resolved": a.get("resolved", 0),
+            "rules_fired": list(a.get("rules_fired") or []),
+        })
+    return rows
+
+
 def serve_chaos_rows(records: Sequence[RunRecord]) -> List[dict]:
     """Newest serve-chaos record per scheme, in scheme order."""
     newest: dict = {}
@@ -372,6 +438,84 @@ def _sparkline(points: List[Tuple[str, float]], fmt=lambda v: f"{v:.3g}") -> str
     )
 
 
+def _line_chart(series: dict, fmt=lambda v: f"{v:.3g}",
+                x_fmt=lambda v: f"{v:g}") -> str:
+    """A multi-series x/y polyline chart (offered load on x, metric on y).
+
+    ``series`` maps legend label → [(x, y), …]; points are plotted on a
+    shared linear scale with per-point hover titles and a text legend
+    (series are distinguished by class ``line-N`` color *and* marker
+    shape, never color alone).
+    """
+    series = {k: sorted(v) for k, v in series.items() if v}
+    if not series:
+        return '<p class="muted">no data yet</p>'
+    pad_l, pad_r, pad_t, pad_b = 70, 16, 10, 34
+    plot_w, plot_h = 430, 170
+    width, height = pad_l + plot_w + pad_r, pad_t + plot_h + pad_b
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(x):
+        return pad_l + (x - x_lo) / x_span * plot_w
+
+    def sy(y):
+        return pad_t + plot_h - (y - y_lo) / y_span * plot_h
+
+    parts = [
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" x2="{pad_l + plot_w}" '
+        f'y2="{pad_t + plot_h}" class="axis"/>',
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+        f'y2="{pad_t + plot_h}" class="axis"/>',
+        f'<text x="{pad_l - 6}" y="{pad_t + 10}" text-anchor="end" '
+        f'class="tick">{html.escape(fmt(y_hi))}</text>',
+        f'<text x="{pad_l - 6}" y="{pad_t + plot_h}" text-anchor="end" '
+        f'class="tick">{html.escape(fmt(y_lo))}</text>',
+        f'<text x="{pad_l}" y="{height - 18}" class="tick">'
+        f"{html.escape(x_fmt(x_lo))}</text>",
+        f'<text x="{pad_l + plot_w}" y="{height - 18}" text-anchor="end" '
+        f'class="tick">{html.escape(x_fmt(x_hi))}</text>',
+    ]
+    markers = ("circle", "square", "diamond", "triangle")
+    legend = []
+    for i, (label, pts) in enumerate(sorted(series.items())):
+        cls = f"line-{i % 4}"
+        marker = markers[i % 4]
+        poly = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{poly}" class="curve {cls}"/>')
+        for x, y in pts:
+            cx, cy = sx(x), sy(y)
+            title = (f"<title>{html.escape(label)} @ {html.escape(x_fmt(x))}: "
+                     f"{html.escape(fmt(y))}</title>")
+            if marker == "circle":
+                parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3.5" '
+                             f'class="dot {cls}">{title}</circle>')
+            elif marker == "square":
+                parts.append(f'<rect x="{cx - 3:.1f}" y="{cy - 3:.1f}" '
+                             f'width="6" height="6" class="dot {cls}">{title}</rect>')
+            elif marker == "diamond":
+                parts.append(
+                    f'<rect x="{cx - 3:.1f}" y="{cy - 3:.1f}" width="6" height="6" '
+                    f'transform="rotate(45 {cx:.1f} {cy:.1f})" '
+                    f'class="dot {cls}">{title}</rect>')
+            else:
+                parts.append(
+                    f'<polygon points="{cx:.1f},{cy - 4:.1f} {cx - 4:.1f},'
+                    f'{cy + 3:.1f} {cx + 4:.1f},{cy + 3:.1f}" '
+                    f'class="dot {cls}">{title}</polygon>')
+        legend.append(f'<span class="legend-item {cls}-text">'
+                      f"{'●■◆▲'[i % 4]} {html.escape(label)}</span>")
+    svg = (
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'style="max-width:{width}px;width:100%">' + "".join(parts) + "</svg>"
+    )
+    return svg + "<p class='muted'>" + " &nbsp; ".join(legend) + "</p>"
+
+
 _ATT_CATEGORIES = ("compute", "comm", "stall", "overhead")
 
 
@@ -406,7 +550,8 @@ _CSS = """
   color-scheme: light;
   --surface-1: #fcfcfb; --page: #f9f9f7;
   --text-primary: #0b0b0b; --text-secondary: #52514e;
-  --series-1: #2a78d6;
+  --series-1: #2a78d6; --series-2: #d98a2b;
+  --series-3: #0ca30c; --series-4: #8a5fd0;
   --grid: #e5e4e0;
   --status-good: #0ca30c; --status-critical: #d03b3b;
   background: var(--page); color: var(--text-primary);
@@ -417,7 +562,8 @@ _CSS = """
     color-scheme: dark;
     --surface-1: #1a1a19; --page: #0d0d0d;
     --text-primary: #ffffff; --text-secondary: #c3c2b7;
-    --series-1: #3987e5;
+    --series-1: #3987e5; --series-2: #e09a40;
+    --series-3: #2ab52a; --series-4: #9b74d8;
     --grid: #383835;
   }
 }
@@ -440,6 +586,19 @@ _CSS = """
 .viz-root svg .tick, .viz-root svg .val { fill: var(--text-secondary); }
 .viz-root svg .spark-line { fill: none; stroke: var(--series-1); stroke-width: 1.5; }
 .viz-root svg .spark-dot { fill: var(--series-1); }
+.viz-root svg .curve { fill: none; stroke-width: 2; }
+.viz-root svg .curve.line-0, .viz-root svg .dot.line-0 { stroke: var(--series-1); }
+.viz-root svg .curve.line-1, .viz-root svg .dot.line-1 { stroke: var(--series-2); }
+.viz-root svg .curve.line-2, .viz-root svg .dot.line-2 { stroke: var(--series-3); }
+.viz-root svg .curve.line-3, .viz-root svg .dot.line-3 { stroke: var(--series-4); }
+.viz-root svg .dot.line-0 { fill: var(--series-1); }
+.viz-root svg .dot.line-1 { fill: var(--series-2); }
+.viz-root svg .dot.line-2 { fill: var(--series-3); }
+.viz-root svg .dot.line-3 { fill: var(--series-4); }
+.viz-root .legend-item.line-0-text { color: var(--series-1); }
+.viz-root .legend-item.line-1-text { color: var(--series-2); }
+.viz-root .legend-item.line-2-text { color: var(--series-3); }
+.viz-root .legend-item.line-3-text { color: var(--series-4); }
 .viz-root svg.spark { vertical-align: middle; }
 .viz-root svg .att-compute { fill: #2a78d6; }
 .viz-root svg .att-comm { fill: #d98a2b; }
@@ -593,6 +752,62 @@ def _serving_section(rows: List[dict]) -> str:
     )
 
 
+def _sweep_section(series: dict) -> str:
+    if not series["p99_e2e_s"] and not series["goodput"]:
+        body = ("<p class='muted'>no sweep points yet (run <code>repro serve "
+                "--sweep RATE1,RATE2,… --ledger …</code> to record one serve "
+                "point per offered load)</p>")
+        return f"<section><h2>Serving latency vs offered load</h2>{body}</section>"
+    return (
+        "<section><h2>Serving latency vs offered load</h2>"
+        "<p class='muted'>one curve per scheme × arrival profile over the "
+        "swept request rates (<code>repro serve --sweep</code>); the p99 "
+        "knee localizes each engine's saturation point</p>"
+        "<h3 class='muted'>p99 end-to-end latency</h3>"
+        + _line_chart(
+            series["p99_e2e_s"],
+            fmt=lambda v: f"{v * 1e3:.2f} ms",
+            x_fmt=lambda v: f"{v:g} req/s",
+        )
+        + "<h3 class='muted'>Goodput (SLO-compliant tokens per simulated second)</h3>"
+        + _line_chart(
+            series["goodput"],
+            fmt=lambda v: f"{v:.0f} tok/s",
+            x_fmt=lambda v: f"{v:g} req/s",
+        )
+        + "</section>"
+    )
+
+
+def _alerts_section(rows: List[dict]) -> str:
+    if not rows:
+        body = ("<p class='muted'>no alert-bearing serve records yet (run "
+                "<code>repro serve --alerts --ledger …</code> to evaluate the "
+                "stock SLO rules inline)</p>")
+        return f"<section><h2>Alerts</h2>{body}</section>"
+    trs = []
+    for row in rows:
+        fired = row["fired"]
+        rules = ", ".join(row["rules_fired"]) or "—"
+        trs.append(
+            f"<tr><td>{html.escape(row['scheme'])}</td>"
+            f"<td>{html.escape(row['arrival'])}</td>"
+            f"<td>{_status_cell('fired' if fired else 'quiet')}</td>"
+            f"<td>{fired}</td><td>{row['resolved']}</td>"
+            f"<td><code>{html.escape(rules)}</code></td>"
+            f"<td><code>{row['run_id']}</code></td></tr>"
+        )
+    return (
+        "<section><h2>Alerts</h2>"
+        "<p class='muted'>deterministic SLO alerting evaluated inline on the "
+        "simulated clock (<code>repro serve --alerts</code>): firing totals "
+        "per arm, newest alert-bearing record per scheme × arrival</p>"
+        "<table><tr><th>scheme</th><th>arrival</th><th>verdict</th>"
+        "<th>fired</th><th>resolved</th><th>rules fired</th><th>run_id</th>"
+        "</tr>" + "".join(trs) + "</table></section>"
+    )
+
+
 def _serve_chaos_section(rows: List[dict]) -> str:
     if not rows:
         body = ("<p class='muted'>no serve-chaos records yet (run "
@@ -703,6 +918,8 @@ def render_html(records: Sequence[RunRecord], card: dict,
         + _claims_section(card)
         + _attribution_section(attribution_rows(records))
         + _serving_section(serving_rows(records))
+        + _sweep_section(sweep_series(records))
+        + _alerts_section(alerts_rows(records))
         + _serve_chaos_section(serve_chaos_rows(records))
         + _trends_section(trend_series(records), sparkline_series(records))
         + _regressions_section(regressions)

@@ -8,6 +8,11 @@ The emitted dict loads directly in https://ui.perfetto.dev or
   collective slices — nesting falls out of timestamp containment;
 * ``tid 1`` ("copy engine") carries point-to-point transfer slices, with
   flow arrows (``ph: s``/``f``) from sender to receiver;
+* ``tid 2`` ("requests") carries serving request-lifecycle slices
+  (``queued``/``prefill``/``decode``/``preempted``/…); one flow chain per
+  request id (``ph: s``/``t``/``f``, id ``req<rid>``) links a request's
+  slices across scheduler steps and mesh ranks.  SLO alert transitions
+  appear as instant events (``ph: i``).  Only present for serve traces;
 * counter events (``ph: C``) carry each rank's memory timeline when
   per-allocation sampling is enabled.
 
@@ -26,6 +31,7 @@ _US = 1e6  # seconds → trace_event microseconds
 def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
     """Build a ``trace_event`` dict from the simulator's tracer state."""
     events: List[dict] = []
+    has_requests = any(e.kind == "request" for e in sim.tracer.events)
     for d in sim.devices:
         gpu = sim.arrangement.gpu_of(d.rank)
         node = sim.arrangement.node_of(d.rank)
@@ -33,7 +39,10 @@ def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
             {"ph": "M", "name": "process_name", "pid": d.rank, "tid": 0,
              "args": {"name": f"rank {d.rank} (node {node}, gpu {gpu})"}}
         )
-        for tid, tname in ((0, "timeline"), (1, "copy engine")):
+        threads = [(0, "timeline"), (1, "copy engine")]
+        if has_requests:
+            threads.append((2, "requests"))
+        for tid, tname in threads:
             events.append(
                 {"ph": "M", "name": "thread_name", "pid": d.rank, "tid": tid,
                  "args": {"name": tname}}
@@ -56,10 +65,46 @@ def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
             }
         )
 
-    # flat events: compute, collectives, point-to-point
+    # flat events: compute, collectives, point-to-point, serving lifecycle
     flow_id = 0
+    request_chains: Dict[object, List[tuple]] = {}
     for e in sim.tracer.events:
-        if e.kind == "compute":
+        if e.kind == "request":
+            attrs = dict(e.attrs or {})
+            rid = attrs.get("rid")
+            name = f"req{rid}:{e.label}" if rid is not None else e.label
+            for pid in e.ranks:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": name,
+                        "cat": "request",
+                        "pid": pid,
+                        "tid": 2,
+                        "ts": e.t_start * _US,
+                        "dur": e.duration * _US,
+                        "args": attrs,
+                    }
+                )
+            if rid is not None:
+                request_chains.setdefault(rid, []).append(
+                    (e.t_start, e.ranks[0], name)
+                )
+        elif e.kind == "alert":
+            for pid in e.ranks:
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "p",
+                        "name": f"alert:{e.label}",
+                        "cat": "alert",
+                        "pid": pid,
+                        "tid": 2,
+                        "ts": e.t_start * _US,
+                        "args": dict(e.attrs or {}),
+                    }
+                )
+        elif e.kind == "compute":
             events.append(
                 {
                     "ph": "X",
@@ -123,6 +168,21 @@ def chrome_trace(sim, include_memory: bool = True) -> Dict[str, object]:
                         "args": args,
                     }
                 )
+
+    # one flow chain per request id: arrows link the request's slices
+    # across scheduler steps (and across ranks after a migration/swap-in)
+    for rid in sorted(request_chains, key=str):
+        chain = sorted(request_chains[rid], key=lambda it: (it[0], it[2]))
+        if len(chain) < 2:
+            continue
+        fid = f"req{rid}"
+        for i, (ts, pid, name) in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == len(chain) - 1 else "t")
+            ev = {"ph": ph, "id": fid, "name": "request", "cat": "request",
+                  "pid": pid, "tid": 2, "ts": ts * _US}
+            if ph == "f":
+                ev["bp"] = "e"
+            events.append(ev)
 
     if include_memory:
         for rank, samples in sim.memory_timeline().items():

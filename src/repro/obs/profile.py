@@ -104,6 +104,31 @@ def _train_profile(scheme: str, mem_timeline: bool):
     return sim
 
 
+def _serve_profile(scheme: str, mem_timeline: bool):
+    """A traced serving run: request-lifecycle spans, step spans, metrics."""
+    from repro.config import tiny_config
+    from repro.nn.init import init_transformer_params
+    from repro.serving.engine import make_engine
+    from repro.serving.traffic import TrafficGenerator
+
+    # heads must divide p=4 for the Megatron path (same reasoning as tiny)
+    cfg = tiny_config(num_layers=2, num_heads=4, hidden_size=16)
+    params = init_transformer_params(cfg, seed=1)
+    requests = TrafficGenerator(
+        seed=0, vocab_size=cfg.vocab_size, arrival="poisson",
+        rate_rps=1000.0, num_requests=6,
+    ).generate()
+    blocks = 12 if scheme == "optimus" else 24  # equal per-device KV bytes
+    engine = make_engine(
+        scheme, cfg, params, q=2, num_slots=8, block_size=8,
+        blocks_per_group=blocks, trace=True, slo=(0.5, 0.05),
+    )
+    if mem_timeline:
+        engine.sim.enable_memory_timeline()
+    engine.run(requests)
+    return engine.sim
+
+
 def _experiment_cfg(name: str):
     """The (cfg, batch) a profile run uses for each table/figure workload."""
     from repro.config import table2_weak_scaling, table3_strong_scaling
@@ -123,7 +148,7 @@ def _experiment_cfg(name: str):
 
 
 STEM_EXPERIMENTS = ("table1", "table2", "table3", "fig7", "fig8", "fig9")
-EXPERIMENTS = STEM_EXPERIMENTS + ("tiny", "train")
+EXPERIMENTS = STEM_EXPERIMENTS + ("tiny", "train", "serve")
 
 
 def run_profile(
@@ -139,6 +164,8 @@ def run_profile(
         return _tiny_profile(scheme, mem_timeline)
     if experiment == "train":
         return _train_profile(scheme, mem_timeline)
+    if experiment == "serve":
+        return _serve_profile(scheme, mem_timeline)
     raise ValueError(
         f"unknown experiment {experiment!r}; choose from {', '.join(EXPERIMENTS)}"
     )

@@ -93,7 +93,8 @@ def collective_stats(tracer: Tracer) -> Dict[str, CollectiveStats]:
     """
     agg: Dict[str, List] = {}
     for e in tracer.events:
-        if e.kind == "compute":
+        # request/alert are serving-lifecycle annotations, not traffic
+        if e.kind in ("compute", "request", "alert"):
             continue
         agg.setdefault(e.kind, []).append(e)
     return {
@@ -153,6 +154,8 @@ def rank_activity(
     per_rank: Dict[int, List] = {r: [] for r in range(num_ranks)}
     for e in tracer.events:
         if e.duration <= 0:
+            continue
+        if e.kind in ("request", "alert"):  # annotations, not occupancy
             continue
         if e.kind == "compute":
             targets = (e.ranks[0],)

@@ -120,8 +120,11 @@ def run_serve_chaos(
         baseline, _sim = run_arm(scheme, cfg, params, trace, **arm_kw)
         schedule = default_serving_schedule(seed, baseline["steps"])
         injector = FaultInjector(schedule, seed=seed, **INJECTOR_KW)
+        # counter_epoch distinguishes the arms for a long-lived scraper:
+        # OpenMetrics counter-restart semantics across same-named series
         chaos, sim = run_arm(
-            scheme, cfg, params, trace, **arm_kw, injector=injector
+            scheme, cfg, params, trace, **arm_kw, injector=injector,
+            counter_epoch=1,
         )
         for entry, arm in ((baseline, "baseline"), (chaos, "chaos")):
             entry["arm"] = arm

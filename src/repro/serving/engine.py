@@ -52,6 +52,7 @@ from repro.serving.scheduler import (
     ServingOptions,
     SlotState,
 )
+from repro.serving.telemetry import ServingTelemetry
 from repro.serving.traffic import Request
 
 
@@ -80,6 +81,9 @@ class ServingResult:
     clock: float
     #: lifecycle counters + shed/timeout rids; None on the default PR 8 path
     lifecycle: Optional[dict] = None
+    #: alert-engine summary (rules + firing/resolved events); None unless
+    #: an :class:`~repro.obs.alerts.AlertEngine` was armed for the run
+    alerts: Optional[dict] = None
 
 
 class ServingEngine:
@@ -102,6 +106,11 @@ class ServingEngine:
         self.scheduler: ContinuousBatchingScheduler
         self.swap: Optional[HostSwapSpace] = None
         self.all_ranks: Sequence[int] = []
+        # telemetry knobs (set by make_engine; harmless defaults otherwise)
+        self.slo: Optional[tuple] = None  # (slo_ttft, slo_tpot) for goodput
+        self.counter_epoch = 0  # OpenMetrics counter reset epoch for this arm
+        self.alerts = None  # Optional[repro.obs.alerts.AlertEngine]
+        self.telemetry: Optional[ServingTelemetry] = None
 
     def _make_scheduler(self) -> ContinuousBatchingScheduler:
         """Build the swap tier (if configured) and the scheduler; called by
@@ -140,6 +149,12 @@ class ServingEngine:
         sched = self.scheduler
         opts = self.options
         inj = self.injector
+        # telemetry is read-only over the simulation (registry writes and —
+        # when tracing — flat trace events only), so arming it can never
+        # change a clock or a sampled token
+        tel = ServingTelemetry(self, slo=self.slo, epoch=self.counter_epoch)
+        self.telemetry = tel
+        sched.observer = tel
         if inj is not None:
             inj.install(self.sim)
         sched.load(requests)
@@ -159,7 +174,9 @@ class ServingEngine:
             sched.intake(now)
             sched.expire(now)
             sched.resume(now)
-            sched.admit(now)
+            admitted = sched.admit(now)
+            if admitted:
+                tel.on_admitted(admitted, now)
             if sched.active:
                 sched.prepare_step(now)
             t0 = self.sim.elapsed()
@@ -176,6 +193,10 @@ class ServingEngine:
                     dev = self.sim.device(r)
                     dev.clock = max(dev.clock, target)
                 attribution["idle"] += max(0.0, target - t0)
+                tel.on_idle(target)
+                if self.alerts is not None:
+                    for ev in self.alerts.evaluate(self.sim.metrics, target, step_no):
+                        tel.on_alert(ev)
                 continue
 
             entries = [
@@ -186,16 +207,23 @@ class ServingEngine:
             if inj is not None:
                 try:
                     inj.begin_step(step_no)
-                    sampled = self.step(entries)
+                    with self.sim.tracer.span(
+                        "serve_step", self.all_ranks, category="step", step=step_no
+                    ):
+                        sampled = self.step(entries)
                 except (RankCrashError, CollectiveTimeoutError):
                     # fired faults are consumed: re-executing the same
                     # step_no runs clean and produces identical tokens
                     self._recover()
                     attribution["recovery"] += self.sim.elapsed() - t0
                     sched.lifecycle["recovered_steps"] += 1
+                    tel.on_recovery(t0, self.sim.elapsed(), step_no)
                     continue
             else:
-                sampled = self.step(entries)
+                with self.sim.tracer.span(
+                    "serve_step", self.all_ranks, category="step", step=step_no
+                ):
+                    sampled = self.step(entries)
             t1 = self.sim.elapsed()
             dt = t1 - t0
 
@@ -205,11 +233,14 @@ class ServingEngine:
             attribution["prefill"] += dt * prefill_lanes / total_lanes
             attribution["decode"] += dt * decode_lanes / total_lanes
             attribution["padding"] += dt * pad_lanes / total_lanes
+            this_step = step_no
             steps += 1
             step_no += 1
             lane_steps += len(entries)
             padded_lane_steps += pad_lanes
+            tel.on_lanes(entries, sched.active, this_step, t0, t1)
 
+            prompt_delta = gen_delta = 0
             for e in entries:
                 state = sched.active[e.slot]
                 self.cache.commit(e.slot)
@@ -217,6 +248,7 @@ class ServingEngine:
                     sched.lifecycle["recomputed_tokens"] += 1
                 elif state.in_prefill:
                     prompt_tokens += 1
+                    prompt_delta += 1
                 state.fed += 1
                 # the sample is new progress exactly when every known token
                 # (prompt + previously generated) has been fed; in the PR 8
@@ -224,10 +256,16 @@ class ServingEngine:
                 if state.fed >= state.request.prompt_len + len(state.generated):
                     state.generated.append(sampled[e.slot])
                     generated_tokens += 1
+                    gen_delta += 1
                     if state.first_token_time is None:
                         state.first_token_time = t1
+                        tel.on_first_token(state, t1)
                     if state.done:
                         sched.finish(e.slot, t1)
+            tel.on_step(this_step, t1, prompt_delta, gen_delta)
+            if self.alerts is not None:
+                for ev in self.alerts.evaluate(self.sim.metrics, t1, this_step):
+                    tel.on_alert(ev)
 
         lifecycle = None
         if opts.enabled or inj is not None or sched._has_deadlines:
@@ -251,6 +289,7 @@ class ServingEngine:
             cache_stats=cache_stats,
             clock=self.sim.elapsed(),
             lifecycle=lifecycle,
+            alerts=self.alerts.summary() if self.alerts is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -528,21 +567,36 @@ def make_engine(
     blocks_per_group: int,
     options: Optional[ServingOptions] = None,
     injector: Optional[FaultInjector] = None,
+    trace: bool = False,
+    slo: Optional[tuple] = None,
+    counter_epoch: int = 0,
+    alerts=None,
 ) -> ServingEngine:
     """Build a fresh simulator + engine for one serving arm.
 
     ``q`` sizes both schemes to the same device count: a q×q mesh for
-    Optimus, a flat p = q² group for Megatron (the paper's comparison)."""
+    Optimus, a flat p = q² group for Megatron (the paper's comparison).
+
+    ``trace`` enables request-lifecycle tracing (see
+    :mod:`repro.serving.telemetry`); ``slo`` = ``(slo_ttft, slo_tpot)``
+    feeds the live goodput counters; ``counter_epoch`` is the OpenMetrics
+    counter reset epoch for this arm; ``alerts`` is an optional armed
+    :class:`~repro.obs.alerts.AlertEngine` evaluated at every step."""
     if scheme == "optimus":
-        sim = Simulator.for_mesh(q)
-        return OptimusServingEngine(
+        sim = Simulator.for_mesh(q, trace=trace)
+        engine: ServingEngine = OptimusServingEngine(
             sim, cfg, params_global, q, num_slots, block_size, blocks_per_group,
             options=options, injector=injector,
         )
-    if scheme == "megatron":
-        sim = Simulator.for_flat(q * q)
-        return MegatronServingEngine(
+    elif scheme == "megatron":
+        sim = Simulator.for_flat(q * q, trace=trace)
+        engine = MegatronServingEngine(
             sim, cfg, params_global, num_slots, block_size, blocks_per_group,
             options=options, injector=injector,
         )
-    raise ValueError(f"unknown serving scheme {scheme!r}")
+    else:
+        raise ValueError(f"unknown serving scheme {scheme!r}")
+    engine.slo = slo
+    engine.counter_epoch = int(counter_epoch)
+    engine.alerts = alerts
+    return engine

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.config import ModelConfig, tiny_config
 from repro.core import summa
 from repro.nn.init import init_transformer_params
+from repro.obs.alerts import AlertEngine, AlertRule, default_serving_rules
 from repro.obs.ledger import RunLedger, canonical_json, record_from_sim
 from repro.resilience.injector import FaultInjector
 from repro.serving.engine import ServingResult, make_engine
@@ -33,6 +34,7 @@ from repro.serving.scheduler import ServingOptions
 from repro.serving.traffic import ARRIVAL_PROFILES, Request, TrafficGenerator
 
 REPORT_SCHEMA = "repro-serve-v1"
+SWEEP_SCHEMA = "repro-serve-sweep-v1"
 
 #: parameters are drawn once with a *fixed* seed — the model is the same
 #: deployed artifact across all arms and seeds; only traffic varies.
@@ -102,15 +104,30 @@ def run_arm(
     slo_tpot: float,
     options: Optional[ServingOptions] = None,
     injector: Optional[FaultInjector] = None,
+    alert_rules: Optional[Sequence[AlertRule]] = None,
+    metrics_server=None,
+    trace: bool = False,
+    counter_epoch: int = 0,
 ) -> Tuple[dict, object]:
-    """Run one arm; returns (report entry, simulator) — sim for the ledger."""
+    """Run one arm; returns (report entry, simulator) — sim for the ledger.
+
+    ``alert_rules`` arms inline SLO alerting (an ``alerts`` entry section
+    appears); ``metrics_server`` gets this arm's live registry attached
+    before the run so mid-run scrapes see it move; ``trace`` turns on
+    request-lifecycle tracing.  All three are read-only over the
+    simulation: the rest of the entry stays byte-identical."""
     # equal per-device KV bytes across schemes: megatron shards heads q×
     # thinner (p = q² ranks), so its single pool gets q× the blocks.
     blocks_per_group = blocks if scheme == "optimus" else blocks * q
+    alerts = AlertEngine(alert_rules) if alert_rules else None
     engine = make_engine(
         scheme, cfg, params, q, slots, block_size, blocks_per_group,
         options=options, injector=injector,
+        trace=trace, slo=(slo_ttft, slo_tpot), counter_epoch=counter_epoch,
+        alerts=alerts,
     )
+    if metrics_server is not None:
+        metrics_server.attach_registry(engine.sim.metrics)
     result: ServingResult = engine.run(requests)
 
     lossy = (options is not None and options.enabled) or injector is not None
@@ -152,6 +169,8 @@ def run_arm(
     }
     if result.lifecycle is not None:
         entry["lifecycle"] = result.lifecycle
+    if result.alerts is not None:
+        entry["alerts"] = result.alerts
     return entry, engine.sim
 
 
@@ -179,8 +198,20 @@ def run_serve(
     retries: Optional[int] = None,
     max_queue_depth: Optional[int] = None,
     ledger: Optional[RunLedger] = None,
+    alerts: bool = False,
+    alert_rules: Optional[Sequence[AlertRule]] = None,
+    metrics_server=None,
 ) -> dict:
-    """Run every (scheme × arrival) arm and assemble the report document."""
+    """Run every (scheme × arrival) arm and assemble the report document.
+
+    ``alerts=True`` arms the stock SLO rule set (see
+    :func:`repro.obs.alerts.default_serving_rules`); ``alert_rules``
+    supplies a custom rule list (and implies ``alerts``).  Either adds an
+    ``alerts`` section per arm entry and to the serving doc — the default
+    path stays byte-identical to PR 8/9.  ``metrics_server`` (a
+    :class:`repro.obs.live.MetricsServer`) gets each arm's registry as the
+    arm starts; successive arms bump the counter reset epoch so scrapers
+    see OpenMetrics counter-restart semantics, not silent resets."""
     knobs = dict(DEFAULTS)
     if quick:
         knobs.update(QUICK)
@@ -227,8 +258,18 @@ def run_serve(
     params = init_transformer_params(cfg, seed=PARAM_SEED)
     qq = int(knobs["q"])
 
+    if alert_rules:
+        rules: Optional[List[AlertRule]] = list(alert_rules)
+    elif alerts:
+        rules = default_serving_rules(
+            float(knobs["slo_ttft"]), float(knobs["slo_tpot"]), int(knobs["slots"])
+        )
+    else:
+        rules = None
+
     traffic_docs = []
     entries = []
+    arm_index = 0
     for arrival in arrivals:
         gen = TrafficGenerator(
             seed=seed,
@@ -252,11 +293,35 @@ def run_serve(
                 slo_ttft=float(knobs["slo_ttft"]),
                 slo_tpot=float(knobs["slo_tpot"]),
                 options=options,
+                alert_rules=rules,
+                metrics_server=metrics_server,
+                counter_epoch=arm_index,
             )
+            arm_index += 1
             entry["arrival"] = arrival
             entries.append(entry)
             if ledger is not None:
                 mesh = {"q": qq} if scheme == "optimus" else {"arrangement": "flat"}
+                extra = {
+                    "arrival": arrival,
+                    "num_requests": int(knobs["requests"]),
+                    "traffic_seed": seed,
+                    "rate_rps": float(knobs["rate_rps"]),
+                    "generated_tokens": entry["generated_tokens"],
+                    "goodput_tokens_per_s": entry["goodput_tokens_per_s"],
+                    "slo_attainment": entry["slo_attainment"],
+                    "p99_e2e_s": entry["e2e_s"]["p99"],
+                    "tokens_sha256": entry["tokens_sha256"],
+                }
+                if "alerts" in entry:  # only when alerting was armed
+                    extra["alerts"] = {
+                        "fired": entry["alerts"]["fired_total"],
+                        "resolved": entry["alerts"]["resolved_total"],
+                        "rules_fired": sorted(
+                            {e["rule"] for e in entry["alerts"]["events"]
+                             if e["state"] == "firing"}
+                        ),
+                    }
                 record = record_from_sim(
                     "serve",
                     sim,
@@ -265,17 +330,7 @@ def run_serve(
                     seed=seed,
                     config=cfg,
                     mesh=mesh,
-                    extra={
-                        "arrival": arrival,
-                        "num_requests": int(knobs["requests"]),
-                        "traffic_seed": seed,
-                        "rate_rps": float(knobs["rate_rps"]),
-                        "generated_tokens": entry["generated_tokens"],
-                        "goodput_tokens_per_s": entry["goodput_tokens_per_s"],
-                        "slo_attainment": entry["slo_attainment"],
-                        "p99_e2e_s": entry["e2e_s"]["p99"],
-                        "tokens_sha256": entry["tokens_sha256"],
-                    },
+                    extra=extra,
                 )
                 ledger.append(record)
 
@@ -297,6 +352,8 @@ def run_serve(
             "max_retries": options.max_retries,
             "max_queue_depth": options.max_queue_depth,
         }
+    if rules is not None:  # same conditional-section discipline as lifecycle
+        serving_doc["alerts"] = {"rules": [r.to_dict() for r in rules]}
     return {
         "report": REPORT_SCHEMA,
         "seed": seed,
@@ -308,6 +365,76 @@ def run_serve(
         "traffic": traffic_docs,
         "schemes": entries,
     }
+
+
+# ----------------------------------------------------------------------
+# latency-vs-load sweep (--sweep)
+# ----------------------------------------------------------------------
+def run_sweep(
+    seed: int = 0,
+    *,
+    rates: Sequence[float],
+    quick: bool = False,
+    schemes: Sequence[str] = SCHEMES,
+    arrivals: Sequence[str] = ("poisson",),
+    ledger: Optional[RunLedger] = None,
+    **kw,
+) -> dict:
+    """Replay the seeded traffic generator at each offered load.
+
+    Each rate point is a full :func:`run_serve` pass (one ``serve`` ledger
+    record per arm when a ledger is given — the dashboard groups those by
+    (scheme, arrival) across ``rate_rps`` into the latency-vs-load curve),
+    distilled here into one row per (rate, scheme, arrival)."""
+    rates = [float(r) for r in rates]
+    if not rates:
+        raise ValueError("--sweep: need at least one rate")
+    if any(r <= 0 for r in rates):
+        raise ValueError(f"--sweep: rates must be positive, got {rates}")
+    points = []
+    for rate in rates:
+        report = run_serve(
+            seed, quick=quick, schemes=schemes, arrivals=arrivals,
+            rate_rps=rate, ledger=ledger, **kw,
+        )
+        for entry in report["schemes"]:
+            points.append(
+                {
+                    "rate_rps": rate,
+                    "scheme": entry["scheme"],
+                    "arrival": entry["arrival"],
+                    "requests": entry["requests"],
+                    "completed": entry["completed"],
+                    "p99_e2e_s": entry["e2e_s"]["p99"] if entry["e2e_s"] else None,
+                    "p50_ttft_s": entry["ttft_s"]["p50"] if entry["ttft_s"] else None,
+                    "goodput_tokens_per_s": entry["goodput_tokens_per_s"],
+                    "slo_attainment": entry["slo_attainment"],
+                    "tokens_sha256": entry["tokens_sha256"],
+                }
+            )
+    return {
+        "report": SWEEP_SCHEMA,
+        "seed": seed,
+        "quick": bool(quick),
+        "rates": rates,
+        "points": points,
+    }
+
+
+def render_sweep(report: dict) -> str:
+    head = (
+        f"{'rate':>8} {'scheme':<10} {'arrival':<8} {'done':>5} "
+        f"{'p99 e2e':>10} {'goodput':>10} {'SLO':>6}"
+    )
+    rows = [head, "-" * len(head)]
+    for p in report["points"]:
+        e2e = f"{p['p99_e2e_s'] * 1e3:>8.3f}ms" if p["p99_e2e_s"] is not None else f"{'—':>10}"
+        rows.append(
+            f"{p['rate_rps']:>8.0f} {p['scheme']:<10} {p['arrival']:<8} "
+            f"{p['completed']:>2}/{p['requests']:<2} {e2e} "
+            f"{p['goodput_tokens_per_s']:>10.1f} {p['slo_attainment']:>6.2f}"
+        )
+    return "\n".join(rows)
 
 
 # ----------------------------------------------------------------------
@@ -565,6 +692,25 @@ def load_baseline(path: str) -> dict:
     return baseline
 
 
+def _load_alert_rules(path: str) -> List[AlertRule]:
+    """Parse a JSON alert-rule file (a list of AlertRule dicts)."""
+    try:
+        with open(path) as f:
+            docs = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"error: alert-rules file {path!r} not found")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: alert-rules file {path!r} is not valid JSON ({exc})")
+    if not isinstance(docs, list) or not docs:
+        raise SystemExit(
+            f"error: alert-rules file {path!r} must be a non-empty JSON list of rules"
+        )
+    try:
+        return [AlertRule.from_dict(d) for d in docs]
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: alert-rules file {path!r}: {exc}")
+
+
 def cmd_serve(args) -> int:
     """Driver for ``python -m repro serve`` (returns the exit code)."""
     ledger = RunLedger(args.ledger) if getattr(args, "ledger", None) else None
@@ -619,17 +765,65 @@ def cmd_serve(args) -> int:
         print("ok: batched-mesh and per-rank serving reports are byte-identical")
         return 0
 
-    report = run_serve(args.seed, quick=args.quick, ledger=ledger, **kw)
-    if args.out:
-        write_report(report, args.out)
-    print(render_text(report))
-    if args.compare:
-        baseline = load_baseline(args.compare)
-        ok, lines = compare_reports(report, baseline, threshold=args.threshold)
-        print()
-        print(f"SLO gate vs {args.compare} (threshold {args.threshold:.0%}):")
-        for line in lines:
-            print("  " + line)
-        if not ok:
-            return 1
-    return 0
+    if getattr(args, "alert_rules", None):
+        kw["alert_rules"] = _load_alert_rules(args.alert_rules)
+    kw["alerts"] = bool(getattr(args, "alerts", False))
+
+    server = None
+    if getattr(args, "metrics_port", None) is not None:
+        from repro.obs.live import MetricsServer
+
+        server = MetricsServer(port=args.metrics_port).start()
+        print(f"metrics endpoint: http://127.0.0.1:{server.port}/metrics")
+        kw["metrics_server"] = server
+
+    try:
+        if getattr(args, "sweep", None):
+            try:
+                rates = [float(r) for r in args.sweep.split(",") if r.strip()]
+            except ValueError:
+                raise SystemExit(
+                    f"error: --sweep expects comma-separated rates, got {args.sweep!r}"
+                )
+            arrivals = kw.pop("arrivals")
+            kw.pop("rate_rps", None)  # the sweep owns the offered load
+            sweep = run_sweep(
+                args.seed, rates=rates, quick=args.quick, ledger=ledger,
+                arrivals=arrivals if args.arrival else ("poisson",), **kw,
+            )
+            if args.out:
+                write_report(sweep, args.out)
+            print(render_sweep(sweep))
+            if server is not None and getattr(args, "metrics_hold", None):
+                server.hold(args.metrics_hold)
+            return 0
+
+        report = run_serve(args.seed, quick=args.quick, ledger=ledger, **kw)
+        if args.out:
+            write_report(report, args.out)
+        print(render_text(report))
+        for entry in report["schemes"]:
+            alert_doc = entry.get("alerts")
+            if alert_doc and alert_doc["events"]:
+                print(
+                    f"alerts [{entry['scheme']}/{entry['arrival']}]: "
+                    f"{alert_doc['fired_total']} fired, "
+                    f"{alert_doc['resolved_total']} resolved"
+                    + (f", still firing: {', '.join(alert_doc['firing'])}"
+                       if alert_doc["firing"] else "")
+                )
+        if args.compare:
+            baseline = load_baseline(args.compare)
+            ok, lines = compare_reports(report, baseline, threshold=args.threshold)
+            print()
+            print(f"SLO gate vs {args.compare} (threshold {args.threshold:.0%}):")
+            for line in lines:
+                print("  " + line)
+            if not ok:
+                return 1
+        if server is not None and getattr(args, "metrics_hold", None):
+            server.hold(args.metrics_hold)
+        return 0
+    finally:
+        if server is not None:
+            server.stop()

@@ -183,6 +183,10 @@ class ContinuousBatchingScheduler:
             "hol_blocked_steps": 0,  # admission stopped with the queue non-empty
         }
         self.lifecycle = _fresh_lifecycle()
+        #: lifecycle observer (duck-typed to ServingTelemetry); the engine
+        #: installs one per run.  Observers must be read-only over the
+        #: scheduler — they exist to emit trace events and metrics.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def load(self, requests: List[Request]) -> None:
@@ -226,6 +230,8 @@ class ContinuousBatchingScheduler:
         for r in arrived[depth:]:  # newest beyond the bound are shed
             self.lifecycle["rejected_shed"] += 1
             self.shed_rids.append(r.rid)
+            if self.observer is not None:
+                self.observer.on_shed(r, now)
         for r in reversed(arrived[:depth]):
             self.queue.appendleft(r)
 
@@ -245,8 +251,11 @@ class ContinuousBatchingScheduler:
             self.queue = deque(survivors)
         for r in expired_queued:
             self.lifecycle["rejected_deadline"] += 1
-            if not self._maybe_retry(r, now):
+            retried = self._maybe_retry(r, now)
+            if not retried:
                 self.timeout_rids.append(r.rid)
+            if self.observer is not None:
+                self.observer.on_timeout(r, now, "queued", retried)
         for slot in sorted(self.active):
             state = self.active[slot]
             d = self._deadline_of(state.request)
@@ -256,8 +265,11 @@ class ContinuousBatchingScheduler:
                 self._free_slots.append(slot)
                 self._free_slots.sort()
                 self.lifecycle["timed_out"] += 1
-                if not self._maybe_retry(state.request, now):
+                retried = self._maybe_retry(state.request, now)
+                if not retried:
                     self.timeout_rids.append(state.request.rid)
+                if self.observer is not None:
+                    self.observer.on_timeout(state.request, now, "active", retried)
         kept: List[PausedSeq] = []
         for entry in self.paused:
             d = self._deadline_of(entry.state.request)
@@ -265,8 +277,11 @@ class ContinuousBatchingScheduler:
                 if entry.ticket is not None:
                     self.cache.discard_ticket(entry.ticket, self.swap)
                 self.lifecycle["timed_out"] += 1
-                if not self._maybe_retry(entry.state.request, now):
+                retried = self._maybe_retry(entry.state.request, now)
+                if not retried:
                     self.timeout_rids.append(entry.state.request.rid)
+                if self.observer is not None:
+                    self.observer.on_timeout(entry.state.request, now, "paused", retried)
             else:
                 kept.append(entry)
         if len(kept) != len(self.paused):
@@ -306,6 +321,9 @@ class ContinuousBatchingScheduler:
                 self._free_slots.remove(slot)
                 self.cache.swap_in(slot, entry.ticket, self.swap)
                 self.lifecycle["swapped_in"] += 1
+                state.slot = slot
+                if self.observer is not None:
+                    self.observer.on_resume(state, now, swapped=True)
             else:
                 replay_target = max(entry.known, state.replay_until)
                 slot = next(
@@ -320,6 +338,9 @@ class ContinuousBatchingScheduler:
                 state.replay_until = replay_target
                 state.fed = 0
                 self.lifecycle["recomputed"] += 1
+                state.slot = slot
+                if self.observer is not None:
+                    self.observer.on_resume(state, now, swapped=False)
             state.slot = slot
             self.active[slot] = state
         self.stats["max_active"] = max(self.stats["max_active"], len(self.active))
@@ -375,7 +396,7 @@ class ContinuousBatchingScheduler:
                         f"slot {slot} cannot grow and no victim exists in its "
                         "group — footprint validation should make this impossible"
                     )
-                self._preempt(victim)
+                self._preempt(victim, now)
 
     def _pick_victim(self, requester_slot: int) -> Optional[int]:
         """Lowest priority first, then longest remaining, then highest rid."""
@@ -394,7 +415,7 @@ class ContinuousBatchingScheduler:
             ),
         )
 
-    def _preempt(self, slot: int) -> None:
+    def _preempt(self, slot: int, now: float = 0.0) -> None:
         state = self.active.pop(slot)
         known = state.fed
         ticket: Optional[SwapTicket] = None
@@ -407,6 +428,8 @@ class ContinuousBatchingScheduler:
         self._free_slots.sort()
         state.preemptions += 1
         self.lifecycle["preempted"] += 1
+        if self.observer is not None:
+            self.observer.on_preempt(state, now, swapped=ticket is not None)
         self.paused.append(PausedSeq(state=state, ticket=ticket, known=known))
 
     # ------------------------------------------------------------------
@@ -419,4 +442,6 @@ class ContinuousBatchingScheduler:
         self._free_slots.sort()
         self.completed.append(state)
         self.stats["finished"] += 1
+        if self.observer is not None:
+            self.observer.on_finish(state, now)
         return state

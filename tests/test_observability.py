@@ -453,3 +453,16 @@ class TestProfileCLI:
 
         with pytest.raises(SystemExit):
             main(["profile", "nope"])
+
+    def test_profile_serve_exercises_request_spans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "serve.json"
+        assert main(["profile", "serve", "--trace-out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "reconciled" in printed
+        assert "MISMATCH" not in printed
+        trace = json.loads(out.read_text())
+        req = [e for e in trace["traceEvents"] if e.get("cat") == "request"]
+        assert any(e["ph"] == "X" for e in req)
+        assert any(e["ph"] in ("s", "t", "f") for e in req)
